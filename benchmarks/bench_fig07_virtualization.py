@@ -1,0 +1,62 @@
+"""Fig. 7: fully hardware-supported virtualization.
+
+Three LDoms (437.leslie3d, 470.lbm, CacheFlush) boot and launch in turn
+on one PARD server; the control planes report per-LDom LLC occupancy and
+memory bandwidth over time; the operator's ``echo`` commands repartition
+the LLC mid-run. The paper's markers: each LDom's occupancy ramps as it
+boots, CacheFlush collapses LDom0's occupancy (the ``T_CacheFlush``
+moment), and the waymask commands restore LDom0 to half the LLC.
+"""
+
+from conftest import banner, full_resolution
+
+from repro.analysis.series import ascii_sparkline
+from repro.system.experiments import run_fig7
+
+
+def test_fig7_dynamic_partitioning(benchmark):
+    phase_ms = 2.0 if full_resolution() else 1.0
+    timeline = benchmark.pedantic(
+        run_fig7, kwargs={"phase_ms": phase_ms}, rounds=1, iterations=1
+    )
+
+    banner("Fig. 7: Dynamic partitioning timeline (per-LDom LLC occupancy)")
+    for name, series in timeline.llc_occupancy_bytes.items():
+        kb = [v / 1024 for v in series]
+        print(f"{name:12s} occ KB  |{ascii_sparkline(kb)}|  last={kb[-1]:.0f}KB")
+    for name, series in timeline.memory_bandwidth_bytes.items():
+        mb = [v / 1e6 for v in series]
+        print(f"{name:12s} bw MB/w |{ascii_sparkline(mb)}|  last={mb[-1]:.2f}MB")
+    for when, what in timeline.events:
+        print(f"  t={when:6.2f}ms  {what}")
+
+    names = ["ldom_leslie", "ldom_lbm", "ldom_flush"]
+    samples = len(timeline.times_ms)
+    launches = [when for when, what in timeline.events if what.startswith("launch")]
+    repartition = [when for when, what in timeline.events if "waymask" in what][0]
+
+    def at(name, t_ms):
+        """Occupancy of an LDom at the sample closest to ``t_ms``."""
+        index = min(
+            range(samples), key=lambda i: abs(timeline.times_ms[i] - t_ms)
+        )
+        return timeline.llc_occupancy_bytes[name][index]
+
+    # Each LDom's occupancy is zero before its launch and grows after.
+    for name, launch in zip(names, launches):
+        if launch > timeline.times_ms[0]:
+            assert at(name, launch - phase_ms / 2) == 0
+        assert at(name, launch + phase_ms) > 0
+
+    # The CacheFlush launch collapses the first LDom's occupancy
+    # (the paper's T_CacheFlush moment).
+    flush_launch = launches[2]
+    before_flush = at("ldom_leslie", flush_launch)
+    after_flush = at("ldom_leslie", repartition)
+    assert after_flush < before_flush
+
+    # The echo waymask repartition restores LDom0 toward half the LLC
+    # while the flusher shrinks.
+    end = timeline.times_ms[-1]
+    assert at("ldom_leslie", end) > after_flush * 1.5
+    assert at("ldom_flush", end) < at("ldom_flush", repartition)

@@ -1,0 +1,50 @@
+"""Fig. 9: memcached's LLC miss rate over time with the trigger armed.
+
+Memcached runs alone first; the STREAM LDoms start mid-run; the miss
+rate spikes past the trigger threshold; the control plane interrupts the
+PRM; the firmware's handler script dedicates half the LLC; the miss rate
+falls back toward the solo level. The paper's markers: the excursion,
+the trigger firing, and the post-trigger rate near (slightly above) the
+solo rate.
+"""
+
+from conftest import banner, full_resolution
+
+from repro.system.experiments import run_fig9
+
+
+def test_fig9_missrate_timeline(benchmark):
+    total_ms = 8.0 if full_resolution() else 5.0
+    timeline = benchmark.pedantic(
+        run_fig9,
+        kwargs={"rps": 300_000, "total_ms": total_ms, "sample_ms": 0.25},
+        rounds=1, iterations=1,
+    )
+
+    banner("Fig. 9: LLC miss-rate timeline (memcached LDom, 20 KRPS-equivalent)")
+    for t, miss in zip(timeline.times_ms, timeline.miss_rates):
+        marker = ""
+        if timeline.trigger_time_ms is not None and abs(t - timeline.trigger_time_ms) < 0.25:
+            marker = "   <-- trigger fired, firmware repartitions"
+        print(f"  t={t:6.2f} ms   miss_rate={miss * 100:5.1f}%{marker}")
+    print(f"  STREAM LDoms started at t={timeline.stream_start_ms} ms")
+    print(f"  final memcached waymask: {timeline.final_waymask:#06x}")
+
+    # Quiet before the streams start.
+    pre_stream = [
+        m for t, m in zip(timeline.times_ms, timeline.miss_rates)
+        if t < timeline.stream_start_ms
+    ]
+    assert all(m < 0.05 for m in pre_stream)
+
+    # The contention excursion crosses the trigger threshold and fires.
+    peak = max(timeline.miss_rates)
+    assert peak > 0.15
+    assert timeline.trigger_time_ms is not None
+    assert timeline.trigger_time_ms >= timeline.stream_start_ms
+
+    # The reaction: half the LLC dedicated, miss rate recovered to near
+    # solo (the paper: 35% -> ~10%, solo 7%).
+    assert timeline.final_waymask == 0xFF00
+    assert timeline.miss_rates[-1] < peak / 3
+    assert timeline.miss_rates[-1] < 0.05

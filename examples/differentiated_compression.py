@@ -1,0 +1,71 @@
+"""Differentiated services beyond QoS: per-DS-id memory compression (§8).
+
+The paper's Discussion: "IBM's Memory eXpansion Technology (MXT)
+integrates a compression engine into a memory controller. If a PARD
+server includes an MXT engine, the engine can be programmed to compress
+memory-access packets for only designated DS-id sets."
+
+This example puts a compression engine on the memory path of two
+domains, enables it for one of them through its control plane, and shows
+the differentiated outcome: the designated LDom trades latency for DRAM
+bandwidth, its neighbour is untouched.
+
+Run:  python examples/differentiated_compression.py
+"""
+
+from repro.extensions.engines import CompressionEngine, EngineControlPlane
+from repro.dram.control_plane import MemoryControlPlane
+from repro.dram.controller import MemoryController
+from repro.sim.clock import ClockDomain, DRAM_CLOCK_PS
+from repro.sim.engine import Engine
+from repro.sim.packet import MemoryPacket
+
+
+def main() -> None:
+    engine = Engine()
+    dram_clock = ClockDomain(engine, DRAM_CLOCK_PS)
+    memory_control = MemoryControlPlane(engine)
+    memory_control.allocate_ldom(1)
+    memory_control.allocate_ldom(2)
+    memory = MemoryController(engine, dram_clock, control=memory_control)
+
+    # The MXT engine with its own PARD control plane: enable 2:1
+    # compression for DS-id 1 only.
+    mxt_control = EngineControlPlane(engine)
+    mxt_control.allocate_ldom(1, enabled=1, ratio_pct=50)
+    mxt_control.allocate_ldom(2)
+    mxt = CompressionEngine(engine, memory, mxt_control, latency_cycles=12)
+
+    latencies = {1: [], 2: []}
+    for i in range(200):
+        for ds_id in (1, 2):
+            pkt = MemoryPacket(ds_id=ds_id, addr=i * 64, size=64)
+            start = engine.now
+
+            def record(_resp, ds_id=ds_id, start=start):
+                latencies[ds_id].append(engine.now - start)
+
+            mxt.handle_request(pkt, record)
+        engine.run()
+
+    mxt_control.roll_window()
+    memory_control.roll_window()
+    print("Per-DS-id outcome after 200 accesses each:\n")
+    for ds_id, label in ((1, "compressed LDom"), (2, "normal LDom")):
+        mean_cycles = sum(latencies[ds_id]) / len(latencies[ds_id]) / DRAM_CLOCK_PS
+        dram_bytes = memory_control.statistics.get(ds_id, "bandwidth")
+        ops = mxt_control.statistics.get(ds_id, "ops")
+        print(f"  DS-id {ds_id} ({label}):")
+        print(f"    mean memory latency : {mean_cycles:6.1f} memory cycles")
+        print(f"    DRAM bytes moved    : {dram_bytes:6d} (of {200 * 64} requested)")
+        print(f"    engine ops          : {ops}")
+    print(
+        "\nThe designated LDom moved half the DRAM bytes (2:1 ratio) at a\n"
+        "24-cycle round-trip latency premium; its neighbour saw no change.\n"
+        "The engine is programmed per DS-id through the same control-plane\n"
+        "table interface as every other PARD resource."
+    )
+
+
+if __name__ == "__main__":
+    main()

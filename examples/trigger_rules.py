@@ -1,0 +1,85 @@
+"""Programming the control planes: the trigger => action methodology.
+
+A tour of PARD's management interface at the level the paper's §5
+describes it: the 32-byte CPA register protocol, the device file tree,
+``pardtrigger``, action-script binding, and a live reaction -- including
+a *cross-resource* rule (a memory-latency trigger whose action raises
+the LDom's DRAM scheduling priority), which is possible because all
+control planes meet in the centralized PRM.
+
+Run:  python examples/trigger_rules.py
+"""
+
+from repro.core.programming import (
+    CMD_READ,
+    REG_ADDR,
+    REG_CMD,
+    REG_DATA,
+    TABLE_PARAMETER,
+    pack_addr,
+)
+from repro.prm.rules import chain_actions, log_action, raise_priority_action
+from repro.system.config import TABLE2
+from repro.system.server import PardServer
+from repro.workloads.stream import Stream
+
+
+def main() -> None:
+    server = PardServer(TABLE2.scaled(16))
+    firmware = server.firmware
+    ldom = firmware.create_ldom("svc", (0,), 16 << 20)
+
+    # -- Level 0: the raw register protocol (what the sysfs layer uses) ----
+    print("Level 0: reading ldom1's waymask via the raw CPA registers")
+    cache_cpa = server.firmware.io_space.by_name("cpa0")
+    rf = cache_cpa.register_file
+    rf.mmio_write(REG_ADDR, pack_addr(ldom.ds_id, 0, TABLE_PARAMETER))
+    rf.mmio_write(REG_CMD, CMD_READ)
+    print(f"  addr=({ldom.ds_id}, offset 0, parameter table) "
+          f"-> data register = {rf.mmio_read(REG_DATA):#06x}")
+
+    # -- Level 1: the device file tree ------------------------------------
+    print("\nLevel 1: the same cell as a file")
+    path = f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/parameters/waymask"
+    print(f"  cat {path} -> {firmware.cat(path)}")
+
+    # -- Level 2: trigger => action rules -----------------------------------
+    print("\nLevel 2: installing a cross-resource trigger => action rule")
+    print("  trigger: memory avg queueing delay > 5 cycles (cpa1, memory)")
+    print("  action:  log it, then raise the LDom's DRAM priority (cpa1)")
+    firmware.register_script(
+        "/scripts/boost.sh",
+        chain_actions(log_action("qlat-trigger"), raise_priority_action(level=1)),
+    )
+    firmware.sh(
+        f"pardtrigger /dev/cpa1 -ldom={ldom.ds_id} -action=0 -stats=avg_qlat -cond=gt,5"
+    )
+    firmware.sh(
+        f"echo /scripts/boost.sh > /sys/cpa/cpa1/ldoms/ldom{ldom.ds_id}/triggers/0"
+    )
+    print(f"  installed: {firmware.cat(f'/sys/cpa/cpa1/ldoms/ldom{ldom.ds_id}/triggers/0')}")
+
+    # Create memory pressure so the trigger fires: three antagonists.
+    server.start()
+    firmware.launch_ldom("svc", {0: Stream(array_bytes=1 << 20, mlp=2)})
+    for i in (1, 2, 3):
+        firmware.create_ldom(f"bg{i}", (i,), 16 << 20)
+        firmware.launch_ldom(f"bg{i}", {i: Stream(array_bytes=1 << 20, mlp=8)})
+
+    priority_path = f"/sys/cpa/cpa1/ldoms/ldom{ldom.ds_id}/parameters/priority"
+    print(f"\n  priority before: {firmware.cat(priority_path)}")
+    server.run_ms(4.0)
+    print(f"  priority after 4 ms under contention: {firmware.cat(priority_path)}")
+    print(f"  firmware trigger log: {len(firmware.trigger_log)} event(s)")
+    for when_ps, cpa, ds_id, rule in firmware.trigger_log[:3]:
+        print(f"    t={when_ps / 1e9:.2f} ms  {cpa} dsid={ds_id}: {rule}")
+    print(f"  /log/triggers.log: {firmware.cat('/log/triggers.log')!r}")
+
+    qlat = int(firmware.cat(
+        f"/sys/cpa/cpa1/ldoms/ldom{ldom.ds_id}/statistics/avg_qlat")) / 100
+    print(f"\n  svc's memory queueing delay is now {qlat:.1f} cycles "
+          f"(high-priority queue)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Analysis and reporting helpers used by experiments and benchmarks."""
+
+from repro.analysis.series import ascii_sparkline, downsample, share_of_total
+from repro.analysis.tables import format_table
+
+__all__ = ["ascii_sparkline", "downsample", "format_table", "share_of_total"]

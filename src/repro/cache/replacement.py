@@ -1,0 +1,81 @@
+"""Way-partitioning-enabled tree pseudo-LRU (PARD Fig. 4).
+
+The LLC control plane hands the replacement logic a per-DS-id way mask
+from its parameter table; the PLRU tree then only ever selects victims
+among the allowed ways. Masks restrict *allocation*, not lookup: a block
+that hits in a way outside the requester's current mask is still a hit,
+which is what makes mask reprogramming safe at any time (occupancy then
+drifts toward the new partition as allocations happen).
+"""
+
+from __future__ import annotations
+
+
+class ReplacementError(RuntimeError):
+    """Raised when no way is eligible for replacement (empty mask)."""
+
+
+def mask_ways(mask: int, num_ways: int) -> list[int]:
+    """The way indices enabled by ``mask`` (bit i = way i)."""
+    return [w for w in range(num_ways) if mask & (1 << w)]
+
+
+class WayMaskedPlru:
+    """A binary tree PLRU over a power-of-two number of ways.
+
+    Tree nodes live in a heap-style array: node 1 is the root, node ``n``
+    has children ``2n`` and ``2n+1``; nodes ``num_ways .. 2*num_ways-1``
+    are the leaves (ways). A node bit of 0 means the left subtree is
+    colder (next victim direction); touching a way flips the bits on its
+    path to point away from it.
+    """
+
+    def __init__(self, num_ways: int):
+        if num_ways < 1 or num_ways & (num_ways - 1):
+            raise ValueError(f"num_ways must be a power of two, got {num_ways}")
+        self.num_ways = num_ways
+        # bits[n] for internal nodes 1..num_ways-1; index 0 unused.
+        self.bits = [0] * num_ways
+        self.full_mask = (1 << num_ways) - 1
+
+    def touch(self, way: int) -> None:
+        """Record an access to ``way``, making it most recently used."""
+        self._check_way(way)
+        node = self.num_ways + way
+        while node > 1:
+            parent = node >> 1
+            # Point the parent's bit at the *other* child.
+            self.bits[parent] = 0 if node & 1 else 1
+            node = parent
+
+    def victim(self, mask: int | None = None) -> int:
+        """Choose the victim way, restricted to ``mask`` (default: all)."""
+        if mask is None:
+            mask = self.full_mask
+        mask &= self.full_mask
+        if mask == 0:
+            raise ReplacementError("way mask selects no ways")
+        node = 1
+        while node < self.num_ways:
+            preferred = 2 * node + self.bits[node]
+            other = 2 * node + (1 - self.bits[node])
+            if self._subtree_has_allowed(preferred, mask):
+                node = preferred
+            else:
+                node = other
+        return node - self.num_ways
+
+    def _subtree_has_allowed(self, node: int, mask: int) -> bool:
+        """True if any leaf under ``node`` is enabled in ``mask``."""
+        # The subtree rooted at ``node`` covers a contiguous leaf range.
+        first, count = node, 1
+        while first < self.num_ways:
+            first *= 2
+            count *= 2
+        first -= self.num_ways
+        subtree_mask = ((1 << count) - 1) << first
+        return bool(mask & subtree_mask)
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self.num_ways:
+            raise ValueError(f"way {way} out of range for {self.num_ways} ways")

@@ -1,0 +1,61 @@
+"""The writeback buffer.
+
+Evicted dirty blocks enter the writeback buffer together with their
+*owner* DS-id (PARD §4.1: the writeback to DRAM must be attributed to the
+LDom that owned the block, not to the request that caused the eviction).
+The buffer drains to the downstream memory path; if it fills, evictions
+stall until a slot frees, which is the same backpressure the RTL applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WritebackEntry:
+    line_addr: int
+    owner_ds_id: int
+    queued_at_ps: int
+
+
+class WritebackBuffer:
+    """A bounded FIFO of pending writebacks."""
+
+    def __init__(self, num_entries: int = 8):
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self._queue: deque[WritebackEntry] = deque()
+        self.total_enqueued = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.num_entries
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def push(self, line_addr: int, owner_ds_id: int, now_ps: int) -> WritebackEntry:
+        if self.is_full:
+            raise OverflowError(f"writeback buffer full ({self.num_entries} entries)")
+        entry = WritebackEntry(line_addr, owner_ds_id, now_ps)
+        self._queue.append(entry)
+        self.total_enqueued += 1
+        return entry
+
+    def pop(self) -> WritebackEntry:
+        if not self._queue:
+            raise IndexError("writeback buffer empty")
+        return self._queue.popleft()
+
+    def peek(self) -> WritebackEntry:
+        if not self._queue:
+            raise IndexError("writeback buffer empty")
+        return self._queue[0]

@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig8 --loads 222000,333000,500000 --measure-ms 2.0
+    python -m repro fig9
+    python -m repro fig10
+    python -m repro fig11 --inject 0.75
+    python -m repro fig12
+    python -m repro all
+
+Each subcommand builds the system, runs the experiment and prints the
+same rows/series the benchmark harness does; the benchmarks additionally
+assert the expected shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.series import ascii_sparkline
+from repro.analysis.tables import format_table
+from repro.hwcost.fpga import (
+    llc_control_plane_cost,
+    memory_control_plane_cost,
+    table_pair_cost,
+    tag_array_blockram_overhead,
+    trigger_table_cost,
+)
+from repro.system.config import TABLE2
+from repro.system.experiments import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+
+
+def cmd_table2(_args) -> int:
+    print(format_table(["parameter", "value"], TABLE2.describe()))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    timeline = run_fig7(phase_ms=args.phase_ms)
+    for name, series in timeline.llc_occupancy_bytes.items():
+        kb = [v / 1024 for v in series]
+        print(f"{name:12s} LLC KB |{ascii_sparkline(kb)}| last={kb[-1]:.0f}")
+    for when, what in timeline.events:
+        print(f"  t={when:6.2f} ms  {what}")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    loads = [int(x) for x in args.loads.split(",")] if args.loads else None
+    results = run_fig8(loads_rps=loads, measure_ms=args.measure_ms)
+    rows = [
+        [r.mode, f"{r.paper_krps:.1f}", f"{r.p95_ms:.3f}", f"{r.mean_ms:.3f}",
+         f"{r.cpu_utilization * 100:.0f}%", f"{(r.llc_miss_rate or 0) * 100:.1f}%",
+         "yes" if r.trigger_fired else "no"]
+        for r in results
+    ]
+    print(format_table(
+        ["mode", "paper-KRPS", "p95 ms", "mean ms", "CPU util", "LLC miss", "trigger"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    timeline = run_fig9(rps=args.rps, total_ms=args.total_ms)
+    for t, miss in zip(timeline.times_ms, timeline.miss_rates):
+        marker = ""
+        if timeline.trigger_time_ms is not None and abs(t - timeline.trigger_time_ms) < 0.25:
+            marker = "  <-- trigger"
+        print(f"t={t:6.2f} ms  miss={miss * 100:5.1f}%{marker}")
+    print(f"final waymask: {timeline.final_waymask:#06x}")
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    timeline = run_fig10(phase_ms=args.phase_ms)
+    for i, t in enumerate(timeline.times_ms):
+        a = timeline.bandwidth_share["ldom_a"][i] * 100
+        b = timeline.bandwidth_share["ldom_b"][i] * 100
+        print(f"t={t:7.1f} ms  LDom0={a:5.1f}%  LDom1={b:5.1f}%")
+    print(f"quota change at t={timeline.quota_change_ms:.1f} ms")
+    return 0
+
+
+def cmd_fig11(args) -> int:
+    result = run_fig11(inject_rate=args.inject, num_requests=args.requests)
+    print(format_table(
+        ["configuration", "mean delay (cycles)"],
+        [
+            ["w/o control plane", f"{result.baseline_mean_cycles:.1f}"],
+            ["high priority", f"{result.high_priority_mean_cycles:.1f} "
+                              f"({result.high_priority_speedup:.1f}x faster)"],
+            ["low priority", f"{result.low_priority_mean_cycles:.1f} "
+                             f"({result.low_priority_slowdown_pct:+.1f}%)"],
+        ],
+    ))
+    return 0
+
+
+def cmd_fig12(_args) -> int:
+    rows = []
+    for plane in ("LLC", "Memory"):
+        for entries in (64, 128, 256):
+            cost = table_pair_cost(entries, llc_datapath=(plane == "LLC"))
+            rows.append([plane, f"param+stats {entries}", cost.lut, cost.lutram, cost.ff])
+        for triggers in (16, 32, 64):
+            cost = trigger_table_cost(triggers)
+            rows.append([plane, f"trigger {triggers}", cost.lut, cost.lutram, cost.ff])
+    print(format_table(["plane", "component", "LUT", "LUTRAM", "FF"], rows))
+    memory = memory_control_plane_cost()
+    llc = llc_control_plane_cost()
+    extra, total = tag_array_blockram_overhead()
+    print(f"\nmemory CP: {memory.total.lut_ff} LUT/FF "
+          f"({memory.overhead_fraction * 100:.1f}% of MIG)")
+    print(f"LLC CP:    {llc.total.lut_ff} LUT/FF "
+          f"({llc.overhead_fraction * 100:.1f}% of T1 LLC)")
+    print(f"tag array: +{extra} blockRAMs (12 -> {total})")
+    return 0
+
+
+def cmd_all(args) -> int:
+    for name in ("table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"):
+        print(f"\n=== {name} " + "=" * (60 - len(name)))
+        status = main([name])
+        if status:
+            return status
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PARD (ASPLOS'15) reproduction: regenerate the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="print Table 2").set_defaults(fn=cmd_table2)
+
+    fig7 = sub.add_parser("fig7", help="dynamic partitioning timeline")
+    fig7.add_argument("--phase-ms", type=float, default=1.0)
+    fig7.set_defaults(fn=cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="tail latency vs load")
+    fig8.add_argument("--loads", type=str, default="",
+                      help="comma-separated RPS values")
+    fig8.add_argument("--measure-ms", type=float, default=2.0)
+    fig8.set_defaults(fn=cmd_fig8)
+
+    fig9 = sub.add_parser("fig9", help="miss-rate trigger timeline")
+    fig9.add_argument("--rps", type=float, default=300_000)
+    fig9.add_argument("--total-ms", type=float, default=5.0)
+    fig9.set_defaults(fn=cmd_fig9)
+
+    fig10 = sub.add_parser("fig10", help="disk bandwidth isolation")
+    fig10.add_argument("--phase-ms", type=float, default=160.0)
+    fig10.set_defaults(fn=cmd_fig10)
+
+    fig11 = sub.add_parser("fig11", help="memory queueing delay")
+    fig11.add_argument("--inject", type=float, default=0.75,
+                       help="fraction of measured saturation bandwidth")
+    fig11.add_argument("--requests", type=int, default=6000)
+    fig11.set_defaults(fn=cmd_fig11)
+
+    sub.add_parser("fig12", help="FPGA resource model").set_defaults(fn=cmd_fig12)
+    sub.add_parser("all", help="run everything").set_defaults(fn=cmd_all)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

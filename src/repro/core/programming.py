@@ -1,0 +1,172 @@
+"""The CPA register programming protocol (PARD Fig. 6).
+
+Each control plane adaptor (CPA) occupies 32 bytes of the PRM's 64 KB I/O
+space:
+
+====== ===== ====================================================
+offset bytes register
+====== ===== ====================================================
+0      8     IDENT       (low 8 chars of the ident string)
+8      4     IDENT_HIGH  (next 4 chars)
+12     4     type        (control plane type, e.g. ``ord('C')``)
+16     4     addr        [31:16] DS-id, [15:2] offset, [1:0] table
+20     4     cmd         0 = READ, 1 = WRITE
+24     8     data        read result / value to write
+====== ===== ====================================================
+
+To program a cell, a driver writes the ``addr`` register to select a table
+cell by DS-id (row) and offset (column), then either writes the ``data``
+register followed by a WRITE command, or issues a READ command and reads
+``data`` back. Writing ``cmd`` is what performs the access, exactly like
+the hardware.
+
+The firmware side of this protocol lives in :mod:`repro.prm`; this module
+implements the hardware side plus the bit-level pack/unpack helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+TABLE_PARAMETER = 0
+TABLE_STATISTICS = 1
+TABLE_TRIGGER = 2
+
+CMD_READ = 0
+CMD_WRITE = 1
+
+CPA_SIZE_BYTES = 32
+CPA_SPACE_BYTES = 64 * 1024  # the PRM reserves a 64 KB I/O window
+
+REG_IDENT = 0
+REG_IDENT_HIGH = 8
+REG_TYPE = 12
+REG_ADDR = 16
+REG_CMD = 20
+REG_DATA = 24
+
+_DSID_BITS = 16
+_OFFSET_BITS = 14
+_TABLE_BITS = 2
+
+MAX_PROTOCOL_DSID = (1 << _DSID_BITS) - 1
+MAX_PROTOCOL_OFFSET = (1 << _OFFSET_BITS) - 1
+
+_DATA_MASK = (1 << 64) - 1
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed register accesses."""
+
+
+def pack_addr(ds_id: int, offset: int, table: int) -> int:
+    """Encode the 32-bit ``addr`` register value."""
+    if not 0 <= ds_id <= MAX_PROTOCOL_DSID:
+        raise ProtocolError(f"DS-id {ds_id} exceeds {_DSID_BITS} bits")
+    if not 0 <= offset <= MAX_PROTOCOL_OFFSET:
+        raise ProtocolError(f"offset {offset} exceeds {_OFFSET_BITS} bits")
+    if not 0 <= table < (1 << _TABLE_BITS):
+        raise ProtocolError(f"table selector {table} exceeds {_TABLE_BITS} bits")
+    return (ds_id << 16) | (offset << 2) | table
+
+
+def unpack_addr(addr: int) -> tuple[int, int, int]:
+    """Decode ``addr`` into ``(ds_id, offset, table)``."""
+    if not 0 <= addr < (1 << 32):
+        raise ProtocolError(f"addr {addr:#x} is not a 32-bit value")
+    return (addr >> 16) & 0xFFFF, (addr >> 2) & 0x3FFF, addr & 0x3
+
+
+# A table access performed by the register file. Arguments are
+# (table, ds_id, offset) for reads; writes get the value appended.
+TableReader = Callable[[int, int, int], int]
+TableWriter = Callable[[int, int, int, int], None]
+
+
+class CpaRegisterFile:
+    """The hardware side of one control plane adaptor.
+
+    The register file holds ``ident``/``type`` identification plus the
+    ``addr``/``cmd``/``data`` access registers; issuing a command calls
+    back into the owning control plane to touch the selected table cell.
+    """
+
+    def __init__(
+        self,
+        ident: str,
+        type_code: str,
+        reader: TableReader,
+        writer: TableWriter,
+    ):
+        if len(ident) > 12:
+            raise ProtocolError(f"ident {ident!r} longer than 12 bytes")
+        if len(type_code) != 1:
+            raise ProtocolError("type code must be a single character")
+        self.ident = ident
+        self.type_code = type_code
+        self._reader = reader
+        self._writer = writer
+        self.addr = 0
+        self.data = 0
+        self.last_cmd: Optional[int] = None
+
+    # -- convenience API used by the firmware's CPA driver ---------------
+
+    def write_addr(self, ds_id: int, offset: int, table: int) -> None:
+        self.addr = pack_addr(ds_id, offset, table)
+
+    def issue(self, cmd: int) -> None:
+        """Write the ``cmd`` register, performing the selected access."""
+        ds_id, offset, table = unpack_addr(self.addr)
+        if cmd == CMD_READ:
+            self.data = int(self._reader(table, ds_id, offset)) & _DATA_MASK
+        elif cmd == CMD_WRITE:
+            self._writer(table, ds_id, offset, self.data)
+        else:
+            raise ProtocolError(f"unknown command {cmd}")
+        self.last_cmd = cmd
+
+    def read_cell(self, ds_id: int, offset: int, table: int) -> int:
+        """addr-then-READ sequence, returning the ``data`` register."""
+        self.write_addr(ds_id, offset, table)
+        self.issue(CMD_READ)
+        return self.data
+
+    def write_cell(self, ds_id: int, offset: int, table: int, value: int) -> None:
+        """addr+data-then-WRITE sequence."""
+        self.write_addr(ds_id, offset, table)
+        self.data = int(value) & _DATA_MASK
+        self.issue(CMD_WRITE)
+
+    # -- raw byte-offset access (what the PRM bus actually does) ---------
+
+    def mmio_read(self, reg_offset: int) -> int:
+        """Read a register by its byte offset within the 32-byte block."""
+        if reg_offset == REG_IDENT:
+            return int.from_bytes(self.ident[:8].encode().ljust(8, b"\0"), "little")
+        if reg_offset == REG_IDENT_HIGH:
+            return int.from_bytes(self.ident[8:12].encode().ljust(4, b"\0"), "little")
+        if reg_offset == REG_TYPE:
+            return ord(self.type_code)
+        if reg_offset == REG_ADDR:
+            return self.addr
+        if reg_offset == REG_CMD:
+            return self.last_cmd if self.last_cmd is not None else 0
+        if reg_offset == REG_DATA:
+            return self.data
+        raise ProtocolError(f"invalid CPA register offset {reg_offset}")
+
+    def mmio_write(self, reg_offset: int, value: int) -> None:
+        """Write a register by byte offset; writing ``cmd`` runs the access."""
+        if reg_offset == REG_ADDR:
+            if not 0 <= value < (1 << 32):
+                raise ProtocolError("addr register is 32 bits")
+            self.addr = value
+        elif reg_offset == REG_DATA:
+            self.data = int(value) & _DATA_MASK
+        elif reg_offset == REG_CMD:
+            self.issue(value)
+        elif reg_offset in (REG_IDENT, REG_IDENT_HIGH, REG_TYPE):
+            raise ProtocolError("ident/type registers are read-only")
+        else:
+            raise ProtocolError(f"invalid CPA register offset {reg_offset}")

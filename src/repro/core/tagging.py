@@ -1,0 +1,55 @@
+"""DS-id tag registers.
+
+PARD adds a tag register to every request source -- each CPU core and
+every DMA-capable device (§3 mechanism 1, §4.1). The register's value is
+attached to every packet the source emits; the tag then travels with the
+request for its whole lifetime.
+
+Tag registers are programmed by the PRM when an LDom is created or when a
+core/device is reassigned between LDoms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.packet import DEFAULT_DSID, MAX_DSID, Packet
+
+
+class TagRegister:
+    """A per-source DS-id register.
+
+    ``on_change`` lets hardware models react to retagging (e.g. a core
+    flushing speculative state when moved between LDoms).
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        ds_id: int = DEFAULT_DSID,
+        on_change: Optional[Callable[[int, int], None]] = None,
+    ):
+        self.owner = owner
+        self._on_change = on_change
+        self._ds_id = DEFAULT_DSID
+        self.write(ds_id)
+
+    @property
+    def ds_id(self) -> int:
+        return self._ds_id
+
+    def write(self, ds_id: int) -> None:
+        if not 0 <= ds_id <= MAX_DSID:
+            raise ValueError(f"DS-id {ds_id} outside 16-bit tag space")
+        old = self._ds_id
+        self._ds_id = int(ds_id)
+        if self._on_change is not None and old != self._ds_id:
+            self._on_change(old, self._ds_id)
+
+    def tag(self, packet: Packet) -> Packet:
+        """Stamp a packet with this source's DS-id (in place)."""
+        packet.ds_id = self._ds_id
+        return packet
+
+    def __repr__(self) -> str:
+        return f"TagRegister({self.owner}: ds_id={self._ds_id})"

@@ -1,0 +1,139 @@
+"""The memory control plane (PARD Fig. 5, Table 3).
+
+Parameter table:  ``addr_base`` / ``addr_size`` -- the LDom-physical ->
+                  DRAM address window (what lets LDoms run unmodified
+                  OSes from address 0); ``priority`` -- scheduling
+                  priority (0 = low, 1 = high); ``rowbuf`` -- whether the
+                  DS-id may allocate into the extra high-priority row
+                  buffer.
+Statistics table: ``bandwidth`` (bytes in the last window), ``avg_qlat``
+                  (average queueing delay, hundredths of a memory cycle),
+                  ``serv_cnt`` (cumulative served requests).
+Trigger table:    e.g. ``avg_qlat > N => raise scheduling priority``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.address import AddressMapping, AddressTranslationError
+from repro.core.control_plane import ControlPlane
+from repro.sim.engine import Engine, PS_PER_MS
+from repro.sim.trace import NULL_TRACER, Tracer
+
+LATENCY_SCALE = 100  # avg_qlat is stored in hundredths of a memory cycle
+
+
+class MemoryControlPlane(ControlPlane):
+    """Programmable control plane for the DRAM memory controller."""
+
+    IDENT = "MEMORY_CP"
+    TYPE_CODE = "M"
+    PARAMETER_COLUMNS = (
+        ("addr_base", 0),
+        ("addr_size", 0),
+        ("priority", 0),
+        ("rowbuf", 1),
+    )
+    STATISTICS_COLUMNS = (
+        ("bandwidth", 0),
+        ("avg_qlat", 0),
+        ("serv_cnt", 0),
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "cpa_mem",
+        max_entries: int = 256,
+        max_triggers: int = 64,
+        window_ps: int = PS_PER_MS,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        super().__init__(
+            engine, name,
+            max_entries=max_entries, max_triggers=max_triggers,
+            window_ps=window_ps, tracer=tracer,
+        )
+        self._controller = None
+        self._window_bytes: dict[int, int] = {}
+        self._window_delay_sum: dict[int, float] = {}
+        self._window_delay_count: dict[int, int] = {}
+
+    def bind_controller(self, controller) -> None:
+        self._controller = controller
+
+    # -- policy reads (hardware side) ----------------------------------------
+
+    def translate(self, ds_id: int, ldom_addr: int) -> int:
+        """LDom-physical -> DRAM address; identity for unmapped DS-ids."""
+        if not self.parameters.has(ds_id):
+            return ldom_addr
+        size = self.parameters.get(ds_id, "addr_size")
+        if size == 0:
+            return ldom_addr
+        mapping = AddressMapping(self.parameters.get(ds_id, "addr_base"), size)
+        return mapping.translate(ldom_addr)
+
+    def mapping(self, ds_id: int) -> Optional[AddressMapping]:
+        if not self.parameters.has(ds_id):
+            return None
+        size = self.parameters.get(ds_id, "addr_size")
+        if size == 0:
+            return None
+        return AddressMapping(self.parameters.get(ds_id, "addr_base"), size)
+
+    def priority(self, ds_id: int) -> int:
+        return self.parameters.get_default(ds_id, "priority", 0)
+
+    def rowbuf_enabled(self, ds_id: int) -> bool:
+        return bool(self.parameters.get_default(ds_id, "rowbuf", 1))
+
+    # -- accounting (hardware side) ---------------------------------------------
+
+    def record_service(
+        self, ds_id: int, size_bytes: int, queue_delay_cycles: float, total_cycles: float
+    ) -> None:
+        self._window_bytes[ds_id] = self._window_bytes.get(ds_id, 0) + size_bytes
+        self._window_delay_sum[ds_id] = (
+            self._window_delay_sum.get(ds_id, 0.0) + queue_delay_cycles
+        )
+        self._window_delay_count[ds_id] = self._window_delay_count.get(ds_id, 0) + 1
+
+    # -- window publication ---------------------------------------------------------
+
+    def on_window(self) -> None:
+        for ds_id in self.statistics.ds_ids:
+            served = self._window_delay_count.pop(ds_id, 0)
+            delay_sum = self._window_delay_sum.pop(ds_id, 0.0)
+            bandwidth = self._window_bytes.pop(ds_id, 0)
+            self.statistics.set(ds_id, "bandwidth", bandwidth)
+            if served:
+                avg = int(delay_sum / served * LATENCY_SCALE)
+                self.statistics.set(ds_id, "avg_qlat", avg)
+            self.statistics.add(ds_id, "serv_cnt", served)
+
+    def last_window_bandwidth_bytes(self, ds_id: int) -> int:
+        if not self.statistics.has(ds_id):
+            return 0
+        return self.statistics.get(ds_id, "bandwidth")
+
+    def last_window_avg_qlat_cycles(self, ds_id: int) -> float:
+        if not self.statistics.has(ds_id):
+            return 0.0
+        return self.statistics.get(ds_id, "avg_qlat") / LATENCY_SCALE
+
+    # -- validation hooks --------------------------------------------------------
+
+    def on_parameter_write(self, ds_id: int, column: str, value: int) -> None:
+        if column == "addr_size" and value:
+            base = self.parameters.get(ds_id, "addr_base")
+            window = AddressMapping(base, value)
+            for other in self.parameters.ds_ids:
+                if other == ds_id:
+                    continue
+                other_mapping = self.mapping(other)
+                if other_mapping is not None and window.overlaps(other_mapping):
+                    raise AddressTranslationError(
+                        f"DS-id {ds_id} window overlaps DS-id {other}"
+                    )

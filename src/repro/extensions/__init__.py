@@ -1,0 +1,26 @@
+"""Functionality extensions from the paper's Discussion (§8).
+
+PARD's tag + control-plane structure supports differentiated services
+beyond QoS. §8 sketches per-DS-id compression (IBM MXT integrated into
+the memory controller), encryption and security checking; §4.1 sketches
+integrating PARD with SDN so DS-ids propagate across servers via
+network flow-ids. These modules implement those sketches:
+
+- :mod:`repro.extensions.engines` -- programmable per-DS-id processing
+  engines (compression, encryption) on the memory path
+- :mod:`repro.extensions.flow` -- flow-id -> DS-id mapping for the NIC
+"""
+
+from repro.extensions.engines import (
+    CompressionEngine,
+    EncryptionEngine,
+    EngineControlPlane,
+)
+from repro.extensions.flow import FlowTable
+
+__all__ = [
+    "CompressionEngine",
+    "EncryptionEngine",
+    "EngineControlPlane",
+    "FlowTable",
+]

@@ -1,0 +1,60 @@
+"""SDN flow-id integration for the NIC (§4.1's alternative design).
+
+"An alternative is to integrate PARD with SDN network (e.g., OpenFlow)
+to allow a DS-id to travel across servers, by correlating a DS-id with
+network packet's flowid." A :class:`FlowTable` holds that correlation;
+attached to a :class:`~repro.io.nic.MultiQueueNic` it classifies
+incoming frames by flow-id instead of (or in addition to) destination
+MAC, so a datacenter fabric that labels flows can deliver traffic
+straight into the right LDom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.io.nic import MultiQueueNic
+from repro.sim.packet import MAX_DSID
+
+
+class FlowTable:
+    """flow-id -> DS-id classification for tagged receive DMA."""
+
+    def __init__(self, nic: MultiQueueNic, max_flows: int = 1024):
+        if max_flows <= 0:
+            raise ValueError("max_flows must be positive")
+        self.nic = nic
+        self.max_flows = max_flows
+        self._flows: dict[int, int] = {}
+        self.unmatched = 0
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._flows)
+
+    def map_flow(self, flow_id: int, ds_id: int) -> None:
+        """Install (or update) one flow rule."""
+        if not 0 <= ds_id <= MAX_DSID:
+            raise ValueError(f"DS-id {ds_id} outside tag space")
+        if flow_id not in self._flows and len(self._flows) >= self.max_flows:
+            raise OverflowError(f"flow table full ({self.max_flows} rules)")
+        self._flows[flow_id] = ds_id
+
+    def unmap_flow(self, flow_id: int) -> None:
+        self._flows.pop(flow_id, None)
+
+    def ds_id_of(self, flow_id: int) -> Optional[int]:
+        return self._flows.get(flow_id)
+
+    def receive(self, flow_id: int, nbytes: int) -> bool:
+        """Classify an incoming labeled frame and DMA it into the owning
+        LDom's memory with the correlated DS-id. Returns True on match.
+        """
+        ds_id = self._flows.get(flow_id)
+        if ds_id is None:
+            self.unmatched += 1
+            return False
+        if self.nic.control is not None:
+            self.nic.control.record_traffic(ds_id, "rx_bytes", nbytes)
+        self.nic.dma.transfer(nbytes, to_device=False, ds_id=ds_id)
+        return True

@@ -1,0 +1,14 @@
+"""The intra-computer network (ICN) fabric.
+
+PARD's founding observation (Fig. 1) is that a computer *is* a network:
+cores, caches, memory and devices exchange packets over NoC/crossbar
+links whose controllers behave like routers. This package models that
+fabric explicitly:
+
+- :mod:`repro.icn.crossbar` -- a bandwidth-limited, tagged crossbar with
+  per-DS-id accounting (and an optional control plane for link shares)
+"""
+
+from repro.icn.crossbar import Crossbar, CrossbarControlPlane
+
+__all__ = ["Crossbar", "CrossbarControlPlane"]

@@ -1,0 +1,427 @@
+"""The PRM firmware.
+
+A Linux-like management stack (the paper runs a tailored 2.6.28 kernel
+with Busybox on a 100 MHz embedded core): it mounts every control plane
+adaptor under ``/sys/cpa``, manages LDom lifecycles, implements the
+``echo`` / ``cat`` / ``ls`` / ``pardtrigger`` commands of Fig. 6, and
+dispatches trigger interrupts to installed action scripts.
+
+Every table access the firmware performs goes through the CPA register
+protocol (addr/cmd/data), exactly like the hardware interface; the only
+direct connections are the ones the paper gives the PRM by construction
+-- tag registers and the APIC route tables (the dashed control-plane
+network of Fig. 2).
+
+Trigger reactions are not instantaneous: an interrupt is serviced after
+``reaction_latency_ps`` of modeled firmware latency (interrupt entry,
+script startup, file I/O on the 100 MHz core) before the handler's
+parameter writes land.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.address import AddressMapping
+from repro.core.control_plane import ControlPlane, TRIGGER_SLOT_STRIDE, TRIGGER_FIELDS
+from repro.core.ldom import LDom
+from repro.core.programming import (
+    TABLE_PARAMETER,
+    TABLE_STATISTICS,
+    TABLE_TRIGGER,
+)
+from repro.core.triggers import TriggerOp, TriggerRule
+from repro.prm.allocator import OutOfMemoryError, WindowAllocator
+from repro.prm.cpa import ControlPlaneAdaptor, PrmIoSpace
+from repro.prm.sysfs import SysfsError, SysfsTree
+from repro.sim.engine import Engine, PS_PER_US
+from repro.sim.trace import NULL_TRACER, Tracer
+
+# Columns whose sysfs/pardtrigger values are expressed in percent but
+# stored scaled (miss_rate is kept in basis points in the hardware).
+STAT_SCALES = {"miss_rate": 100}
+
+DISK_INTERRUPT_VECTOR = 14
+NIC_INTERRUPT_VECTOR = 11
+
+# An action script: fn(firmware, context_dict) -> None.
+ActionScript = Callable[["Firmware", dict], None]
+
+
+class FirmwareError(RuntimeError):
+    """Configuration or shell errors raised by the firmware."""
+
+
+@dataclass
+class HardwareInventory:
+    """What the PRM is wired to (the dashed lines in Fig. 2)."""
+
+    control_planes: list[ControlPlane]
+    cores: list = field(default_factory=list)
+    apic: Optional[object] = None
+    caches: list = field(default_factory=list)  # flushable on LDom destroy
+    memory_capacity_bytes: int = 8 << 30
+    memory_reserved_bytes: int = 0  # carved out before LDom windows
+
+
+class Firmware:
+    """The management firmware running on the PRM."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        inventory: HardwareInventory,
+        reaction_latency_ps: int = 20 * PS_PER_US,
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.engine = engine
+        self.inventory = inventory
+        self.reaction_latency_ps = reaction_latency_ps
+        self.tracer = tracer
+        self.io_space = PrmIoSpace()
+        self.sysfs = SysfsTree()
+        self.ldoms: dict[str, LDom] = {}
+        self._ldoms_by_dsid: dict[int, LDom] = {}
+        self._next_ds_id = 1  # DS-id 0 is the default/untagged domain
+        self.memory_allocator = WindowAllocator(
+            inventory.memory_capacity_bytes, inventory.memory_reserved_bytes
+        )
+        self._scripts: dict[str, ActionScript] = {}
+        self._bindings: dict[tuple[str, int, int], str] = {}
+        self.trigger_log: list[tuple[int, str, int, str]] = []
+        self.sysfs.mkdir("/sys/cpa")
+        self.sysfs.mkdir("/log")
+        for control_plane in inventory.control_planes:
+            self._attach(control_plane)
+
+    # -- CPA attachment and sysfs construction -------------------------------
+
+    def _attach(self, control_plane: ControlPlane) -> ControlPlaneAdaptor:
+        adaptor = self.io_space.attach(control_plane)
+        control_plane.attach_interrupt(self._on_trigger_interrupt)
+        base = f"/sys/cpa/{adaptor.name}"
+        self.sysfs.mkdir(base)
+        rf = adaptor.register_file
+        self.sysfs.add_file(f"{base}/ident", read_handler=lambda rf=rf: rf.ident)
+        self.sysfs.add_file(
+            f"{base}/type",
+            read_handler=lambda rf=rf: f"{ord(rf.type_code):#x} '{rf.type_code}'",
+        )
+        self.sysfs.mkdir(f"{base}/ldoms")
+        return adaptor
+
+    def adaptor_for(self, control_plane: ControlPlane) -> ControlPlaneAdaptor:
+        adaptor = self.io_space.find(control_plane)
+        if adaptor is None:
+            raise FirmwareError(f"{control_plane.name} is not attached to this PRM")
+        return adaptor
+
+    def _build_ldom_subtree(self, adaptor: ControlPlaneAdaptor, ds_id: int) -> None:
+        cp = adaptor.control_plane
+        base = f"/sys/cpa/{adaptor.name}/ldoms/ldom{ds_id}"
+        self.sysfs.mkdir(f"{base}/parameters")
+        self.sysfs.mkdir(f"{base}/statistics")
+        self.sysfs.mkdir(f"{base}/triggers")
+        for offset, column in enumerate(cp.parameters.schema.column_names):
+            self.sysfs.add_file(
+                f"{base}/parameters/{column}",
+                read_handler=self._param_reader(adaptor, ds_id, offset),
+                write_handler=self._param_writer(adaptor, ds_id, offset),
+            )
+        for offset, column in enumerate(cp.statistics.schema.column_names):
+            self.sysfs.add_file(
+                f"{base}/statistics/{column}",
+                read_handler=self._stat_reader(adaptor, ds_id, offset),
+            )
+
+    def _param_reader(self, adaptor, ds_id, offset):
+        return lambda: str(adaptor.read_cell(ds_id, offset, TABLE_PARAMETER))
+
+    def _param_writer(self, adaptor, ds_id, offset):
+        def write(text: str) -> None:
+            adaptor.write_cell(ds_id, offset, TABLE_PARAMETER, _parse_int(text))
+        return write
+
+    def _stat_reader(self, adaptor, ds_id, offset):
+        return lambda: str(adaptor.read_cell(ds_id, offset, TABLE_STATISTICS))
+
+    # -- LDom lifecycle --------------------------------------------------------
+
+    def create_ldom(
+        self,
+        name: str,
+        core_ids: tuple[int, ...],
+        memory_bytes: int,
+        priority: int = 0,
+        disk_share: int = 0,
+        waymask: Optional[int] = None,
+    ) -> LDom:
+        """Create a logical domain and program every control plane for it.
+
+        Mirrors the operator flow of Fig. 3: pick a DS-id, allocate table
+        rows, program the address mapping / priority / quotas, set the
+        cores' tag registers and the LDom's interrupt routes.
+        """
+        if name in self.ldoms:
+            raise FirmwareError(f"LDom {name!r} already exists")
+        for core_id in core_ids:
+            owner = self._core_owner(core_id)
+            if owner is not None:
+                raise FirmwareError(f"core {core_id} already belongs to {owner.name}")
+        try:
+            base = self.memory_allocator.allocate(memory_bytes)
+        except OutOfMemoryError as error:
+            raise FirmwareError(f"out of memory: {error}")
+        ds_id = self._next_ds_id
+        self._next_ds_id += 1
+        mapping = AddressMapping(base, memory_bytes)
+        ldom = LDom(
+            ds_id=ds_id,
+            name=name,
+            core_ids=tuple(core_ids),
+            memory=mapping,
+            priority=priority,
+            disk_share=disk_share,
+        )
+        for adaptor in self.io_space:
+            adaptor.control_plane.allocate_ldom(ds_id)
+            self._build_ldom_subtree(adaptor, ds_id)
+            self._program_defaults(adaptor, ldom, waymask)
+        for core_id in core_ids:
+            self._core(core_id).tag.write(ds_id)
+        if self.inventory.apic is not None and core_ids:
+            for vector in (DISK_INTERRUPT_VECTOR, NIC_INTERRUPT_VECTOR):
+                self.inventory.apic.set_route(ds_id, vector, core_ids[0])
+        self.ldoms[name] = ldom
+        self._ldoms_by_dsid[ds_id] = ldom
+        self.tracer.emit(
+            self.engine.now, "firmware", "ldom_created",
+            f"{name} dsid={ds_id} cores={core_ids} mem={memory_bytes:#x}",
+        )
+        return ldom
+
+    def _program_defaults(
+        self, adaptor: ControlPlaneAdaptor, ldom: LDom, waymask: Optional[int]
+    ) -> None:
+        """Write the LDom's policy into one control plane, by column name."""
+        columns = adaptor.control_plane.parameters.schema
+        values = {
+            "addr_base": ldom.memory.base,
+            "addr_size": ldom.memory.size,
+            "priority": ldom.priority,
+            "bandwidth": ldom.disk_share,
+        }
+        if waymask is not None:
+            values["waymask"] = waymask
+        for column, value in values.items():
+            if column in columns:
+                adaptor.write_cell(
+                    ldom.ds_id, columns.offset_of(column), TABLE_PARAMETER, value
+                )
+
+    def launch_ldom(self, name: str, workloads: dict[int, object]) -> LDom:
+        """Launch an LDom: assign per-core workloads and mark it running."""
+        ldom = self._ldom(name)
+        for core_id in workloads:
+            if core_id not in ldom.core_ids:
+                raise FirmwareError(f"core {core_id} is not part of {name}")
+        ldom.launch()
+        for core_id, workload in workloads.items():
+            self._core(core_id).assign(workload)
+        self.tracer.emit(self.engine.now, "firmware", "ldom_launched", name)
+        return ldom
+
+    def destroy_ldom(self, name: str) -> None:
+        ldom = self._ldom(name)
+        ldom.destroy()
+        # Flush the LDom's cache footprint before recycling its DRAM
+        # window: dirty lines write back under its DS-id, stale lines
+        # cannot leak to the window's next tenant.
+        for cache in self.inventory.caches:
+            cache.flush_dsid(ldom.ds_id)
+        self.memory_allocator.free(ldom.memory.base)
+        for adaptor in self.io_space:
+            adaptor.control_plane.free_ldom(ldom.ds_id)
+            base = f"/sys/cpa/{adaptor.name}/ldoms/ldom{ldom.ds_id}"
+            if self.sysfs.exists(base):
+                self.sysfs.remove(base)
+        for core_id in ldom.core_ids:
+            self._core(core_id).tag.write(0)
+        if self.inventory.apic is not None:
+            self.inventory.apic.clear_routes(ldom.ds_id)
+        del self.ldoms[name]
+        del self._ldoms_by_dsid[ldom.ds_id]
+
+    def ldom_by_dsid(self, ds_id: int) -> Optional[LDom]:
+        return self._ldoms_by_dsid.get(ds_id)
+
+    def _ldom(self, name: str) -> LDom:
+        try:
+            return self.ldoms[name]
+        except KeyError:
+            raise FirmwareError(f"no LDom named {name!r}")
+
+    def _core(self, core_id: int):
+        try:
+            return self.inventory.cores[core_id]
+        except IndexError:
+            raise FirmwareError(f"no core {core_id}")
+
+    def _core_owner(self, core_id: int) -> Optional[LDom]:
+        for ldom in self.ldoms.values():
+            if core_id in ldom.core_ids:
+                return ldom
+        return None
+
+    # -- trigger => action ---------------------------------------------------------
+
+    def register_script(self, path: str, script: ActionScript) -> None:
+        """Install a handler script under a filesystem-like path."""
+        self._scripts[path] = script
+
+    def install_trigger(
+        self,
+        cpa_name: str,
+        ds_id: int,
+        stat_column: str,
+        condition: str,
+        action_id: int = 0,
+        script_path: Optional[str] = None,
+    ) -> None:
+        """The ``pardtrigger`` command: program a trigger row and expose
+        ``.../triggers/<action_id>`` for the script binding.
+
+        ``condition`` is ``"<op>,<value>"`` (e.g. ``"gt,30"``); values for
+        percent-scaled statistics (miss_rate) are given in percent.
+        """
+        adaptor = self.io_space.by_name(cpa_name)
+        cp = adaptor.control_plane
+        op_text, _, value_text = condition.partition(",")
+        if not value_text:
+            raise FirmwareError(f"malformed condition {condition!r}")
+        op = TriggerOp.from_symbol(op_text)
+        threshold = _parse_int(value_text) * STAT_SCALES.get(stat_column, 1)
+        stat_offset = cp.statistics.schema.offset_of(stat_column)
+        slot_base = action_id * TRIGGER_SLOT_STRIDE
+        fields = {
+            "stat_col": stat_offset,
+            "op": int(op),
+            "threshold": threshold,
+            "action_id": action_id,
+            "enabled": 1,
+        }
+        for field_name, value in fields.items():
+            offset = slot_base + TRIGGER_FIELDS.index(field_name)
+            adaptor.write_cell(ds_id, offset, TABLE_TRIGGER, value)
+        trigger_path = f"/sys/cpa/{cpa_name}/ldoms/ldom{ds_id}/triggers/{action_id}"
+        if not self.sysfs.exists(trigger_path):
+            key = (cpa_name, ds_id, action_id)
+            self.sysfs.add_file(
+                trigger_path,
+                read_handler=lambda k=key: self._bindings.get(k, ""),
+                write_handler=lambda text, k=key: self._bind_action(k, text.strip()),
+            )
+        if script_path is not None:
+            self.sysfs.write(trigger_path, script_path)
+
+    def _bind_action(self, key: tuple[str, int, int], script_path: str) -> None:
+        if script_path and script_path not in self._scripts:
+            raise FirmwareError(f"no registered script {script_path!r}")
+        self._bindings[key] = script_path
+
+    def _on_trigger_interrupt(
+        self, control_plane: ControlPlane, ds_id: int, rule: TriggerRule
+    ) -> None:
+        adaptor = self.io_space.find(control_plane)
+        if adaptor is None:
+            return
+        key = (adaptor.name, ds_id, rule.action_id)
+        script_path = self._bindings.get(key, "")
+        self.trigger_log.append(
+            (self.engine.now, adaptor.name, ds_id, rule.describe())
+        )
+        if not script_path:
+            return
+        script = self._scripts[script_path]
+        context = {
+            "cpa": adaptor.name,
+            "ds_id": ds_id,
+            "ldom_path": f"/sys/cpa/{adaptor.name}/ldoms/ldom{ds_id}",
+            "rule": rule,
+        }
+        self.engine.schedule(
+            self.reaction_latency_ps, lambda: self._run_script(script, context)
+        )
+
+    def _run_script(self, script: ActionScript, context: dict) -> None:
+        self.tracer.emit(
+            self.engine.now, "firmware", "action_script",
+            f"cpa={context['cpa']} dsid={context['ds_id']}",
+        )
+        script(self, context)
+
+    # -- the shell (echo / cat / ls / pardtrigger) --------------------------------
+
+    def cat(self, path: str) -> str:
+        return self.sysfs.read(path)
+
+    def echo(self, value: str, path: str) -> None:
+        self.sysfs.write(path, value)
+
+    def ls(self, path: str) -> list[str]:
+        return sorted(self.sysfs.listdir(path))
+
+    def sh(self, command_line: str) -> str:
+        """Execute one shell command against the device file tree.
+
+        Supports the forms used in the paper's examples:
+        ``echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom0/parameters/waymask``,
+        ``cat <path>``, ``ls <path>``, and
+        ``pardtrigger /dev/cpa0 -ldom=0 -action=0 -stats=miss_rate -cond=gt,30``.
+        """
+        command_line = command_line.strip()
+        echo_match = re.match(r"^echo\s+(\S+)\s*>{1,2}\s*(\S+)$", command_line)
+        if echo_match:
+            self.echo(echo_match.group(1).strip("\"'"), echo_match.group(2))
+            return ""
+        cat_match = re.match(r"^cat\s+(\S+)$", command_line)
+        if cat_match:
+            return self.cat(cat_match.group(1))
+        ls_match = re.match(r"^ls\s+(\S+)$", command_line)
+        if ls_match:
+            return "\n".join(self.ls(ls_match.group(1)))
+        if command_line.startswith("pardtrigger"):
+            return self._sh_pardtrigger(command_line)
+        raise FirmwareError(f"unknown command: {command_line!r}")
+
+    def _sh_pardtrigger(self, command_line: str) -> str:
+        tokens = command_line.split()
+        if len(tokens) < 2:
+            raise FirmwareError("pardtrigger: missing device argument")
+        device = tokens[1]
+        cpa_name = device.rsplit("/", 1)[-1]
+        args = {}
+        for token in tokens[2:]:
+            match = re.match(r"^-(\w+)=(.+)$", token)
+            if not match:
+                raise FirmwareError(f"pardtrigger: bad argument {token!r}")
+            args[match.group(1)] = match.group(2)
+        try:
+            ds_id = int(args["ldom"])
+            stats = args["stats"]
+            condition = args["cond"]
+        except KeyError as missing:
+            raise FirmwareError(f"pardtrigger: missing -{missing.args[0]}")
+        action_id = int(args.get("action", 0))
+        self.install_trigger(cpa_name, ds_id, stats, condition, action_id)
+        return ""
+
+
+def _parse_int(text: str) -> int:
+    """Parse decimal or 0x-hex the way ``echo`` inputs arrive."""
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        raise FirmwareError(f"not a number: {text!r}")

@@ -1,0 +1,98 @@
+"""The firmware's statistics monitor.
+
+§7.1.1: "To obtain these statistics data, we implemented a tool running
+on the firmware to periodically read data from the two control planes."
+This is that tool: it samples chosen device-file-tree paths on a fixed
+period (each sample is a real ``cat``, i.e. a CPA register-protocol
+read) and accumulates per-probe time series that experiments and
+operators can inspect or export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.prm.sysfs import SysfsError
+from repro.sim.engine import PS_PER_MS
+
+
+@dataclass
+class ProbeSeries:
+    """One monitored statistic's samples."""
+
+    name: str
+    path: str
+    times_ps: list[int] = field(default_factory=list)
+    values: list[int] = field(default_factory=list)
+
+    def latest(self) -> Optional[int]:
+        return self.values[-1] if self.values else None
+
+    def as_rows(self) -> list[tuple[float, int]]:
+        """(time_ms, value) pairs, for printing or export."""
+        return [(t / PS_PER_MS, v) for t, v in zip(self.times_ps, self.values)]
+
+
+class StatisticsMonitor:
+    """Periodically samples sysfs statistic files into time series."""
+
+    def __init__(self, firmware, period_ps: int = PS_PER_MS):
+        if period_ps <= 0:
+            raise ValueError("period must be positive")
+        self.firmware = firmware
+        self.engine = firmware.engine
+        self.period_ps = period_ps
+        self.probes: dict[str, ProbeSeries] = {}
+        self.read_errors = 0
+        self._running = False
+
+    def add_probe(self, name: str, path: str) -> ProbeSeries:
+        """Watch one statistics file (must exist and be readable)."""
+        if name in self.probes:
+            raise ValueError(f"probe {name!r} already exists")
+        self.firmware.cat(path)  # validates the path now, not at tick time
+        series = ProbeSeries(name, path)
+        self.probes[name] = series
+        return series
+
+    def remove_probe(self, name: str) -> None:
+        del self.probes[name]
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule(self.period_ps, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sample_now(self) -> None:
+        """Take one immediate sample of every probe."""
+        now = self.engine.now
+        for series in self.probes.values():
+            try:
+                value = int(self.firmware.cat(series.path))
+            except (SysfsError, ValueError):
+                # The LDom may have been destroyed between ticks; the
+                # real tool would see ENOENT the same way.
+                self.read_errors += 1
+                continue
+            series.times_ps.append(now)
+            series.values.append(value)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample_now()
+        self.engine.schedule(self.period_ps, self._tick)
+
+    def report(self) -> str:
+        """A plain-text summary of the latest value of every probe."""
+        lines = []
+        for name, series in sorted(self.probes.items()):
+            latest = series.latest()
+            rendered = "-" if latest is None else str(latest)
+            lines.append(f"{name}: {rendered}  ({len(series.values)} samples)")
+        return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""A sysfs-style device file tree.
+
+The firmware abstracts every control plane as a file subtree (PARD Fig. 6,
+§5.1). This module provides the generic tree: directories plus leaf files
+whose reads and writes are delegated to handler callables. The firmware
+wires leaves to CPA driver accesses, so ``cat``/``echo`` on these paths
+are real register-protocol transactions.
+
+Paths are POSIX-style absolute strings (``/sys/cpa/cpa0/ldoms/ldom0/
+parameters/waymask``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+ReadHandler = Callable[[], str]
+WriteHandler = Callable[[str], None]
+
+
+class SysfsError(OSError):
+    """Missing paths, type mismatches (dir vs file), or read-only writes."""
+
+
+class _Node:
+    __slots__ = ("name", "children", "read_handler", "write_handler")
+
+    def __init__(
+        self,
+        name: str,
+        read_handler: Optional[ReadHandler] = None,
+        write_handler: Optional[WriteHandler] = None,
+        is_dir: bool = False,
+    ):
+        self.name = name
+        self.children: Optional[dict[str, _Node]] = {} if is_dir else None
+        self.read_handler = read_handler
+        self.write_handler = write_handler
+
+    @property
+    def is_dir(self) -> bool:
+        return self.children is not None
+
+
+class SysfsTree:
+    """The mounted device file tree."""
+
+    def __init__(self) -> None:
+        self._root = _Node("/", is_dir=True)
+
+    # -- construction (used by the firmware) ---------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory, making parents as needed (mkdir -p)."""
+        node = self._root
+        for part in self._parts(path):
+            if not node.is_dir:
+                raise SysfsError(f"{part!r} under a non-directory in {path}")
+            child = node.children.get(part)
+            if child is None:
+                child = _Node(part, is_dir=True)
+                node.children[part] = child
+            node = child
+        if not node.is_dir:
+            raise SysfsError(f"{path} exists and is not a directory")
+
+    def add_file(
+        self,
+        path: str,
+        read_handler: Optional[ReadHandler] = None,
+        write_handler: Optional[WriteHandler] = None,
+    ) -> None:
+        parts = self._parts(path)
+        if not parts:
+            raise SysfsError("cannot create a file at /")
+        parent_path = "/" + "/".join(parts[:-1])
+        self.mkdir(parent_path)
+        parent = self._lookup(parts[:-1])
+        if parts[-1] in parent.children:
+            raise SysfsError(f"{path} already exists")
+        parent.children[parts[-1]] = _Node(
+            parts[-1], read_handler=read_handler, write_handler=write_handler
+        )
+
+    def remove(self, path: str) -> None:
+        parts = self._parts(path)
+        if not parts:
+            raise SysfsError("cannot remove /")
+        parent = self._lookup(parts[:-1])
+        if parts[-1] not in parent.children:
+            raise SysfsError(f"{path} does not exist")
+        del parent.children[parts[-1]]
+
+    # -- access (used by shell commands and handler scripts) --------------------
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(self._parts(path))
+            return True
+        except SysfsError:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        return self._lookup(self._parts(path)).is_dir
+
+    def listdir(self, path: str) -> list[str]:
+        node = self._lookup(self._parts(path))
+        if not node.is_dir:
+            raise SysfsError(f"{path} is not a directory")
+        return list(node.children)
+
+    def read(self, path: str) -> str:
+        node = self._lookup(self._parts(path))
+        if node.is_dir:
+            raise SysfsError(f"{path} is a directory")
+        if node.read_handler is None:
+            raise SysfsError(f"{path} is not readable")
+        return node.read_handler()
+
+    def write(self, path: str, value: str) -> None:
+        node = self._lookup(self._parts(path))
+        if node.is_dir:
+            raise SysfsError(f"{path} is a directory")
+        if node.write_handler is None:
+            raise SysfsError(f"{path} is read-only")
+        node.write_handler(value)
+
+    # -- internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _parts(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise SysfsError(f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def _lookup(self, parts: list[str]) -> _Node:
+        node = self._root
+        for part in parts:
+            if not node.is_dir or part not in node.children:
+                raise SysfsError(f"no such path: /{'/'.join(parts)}")
+            node = node.children[part]
+        return node

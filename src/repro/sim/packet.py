@@ -1,0 +1,113 @@
+"""Intra-computer-network (ICN) packets.
+
+PARD's founding observation is that a computer is inherently a network:
+cores, caches, memory controllers and devices exchange packets over the
+NoC/crossbar and PCIe. Every packet here carries a DS-id tag (16 bits in
+the CPA protocol) that identifies the high-level entity -- an LDom in the
+data-center configuration -- that originated it. The tag is attached at
+the source and travels with the request for its whole lifetime (PARD §3
+mechanism 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+DEFAULT_DSID = 0
+MAX_DSID = 0xFFFF
+
+_packet_ids = itertools.count()
+
+
+class MemOp(Enum):
+    """Memory operation kinds seen by caches and the memory controller."""
+
+    READ = "read"
+    WRITE = "write"
+    WRITEBACK = "writeback"
+
+
+class IoOp(Enum):
+    """I/O operations on the programmed-I/O path."""
+
+    PIO_READ = "pio_read"
+    PIO_WRITE = "pio_write"
+
+
+@dataclass
+class Packet:
+    """Base class for all ICN packets.
+
+    ``ds_id`` is the DiffServ identity tag; ``birth_ps`` records when the
+    packet entered the network, for end-to-end latency accounting.
+    """
+
+    ds_id: int = DEFAULT_DSID
+    birth_ps: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ds_id <= MAX_DSID:
+            raise ValueError(f"DS-id {self.ds_id} outside 16-bit tag space")
+
+
+@dataclass
+class MemoryPacket(Packet):
+    """A cache/memory access request.
+
+    ``addr`` is an *LDom-physical* address: LDoms all see an address space
+    starting at 0 and the memory control plane translates to DRAM physical
+    addresses (PARD §4.2). ``owner_ds_id`` is only meaningful for
+    writebacks, where the evicted block's owner -- not the requester that
+    caused the eviction -- must be charged (PARD §4.1).
+    """
+
+    addr: int = 0
+    size: int = 64
+    op: MemOp = MemOp.READ
+    owner_ds_id: Optional[int] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.op in (MemOp.WRITE, MemOp.WRITEBACK)
+
+    @property
+    def effective_ds_id(self) -> int:
+        """The DS-id used for accounting and policy at the memory level."""
+        if self.op is MemOp.WRITEBACK and self.owner_ds_id is not None:
+            return self.owner_ds_id
+        return self.ds_id
+
+    def line_addr(self, line_size: int = 64) -> int:
+        return self.addr - (self.addr % line_size)
+
+
+@dataclass
+class IoPacket(Packet):
+    """A programmed-I/O request issued by a CPU core to a device register."""
+
+    device: str = ""
+    offset: int = 0
+    op: IoOp = IoOp.PIO_READ
+    value: int = 0
+
+
+@dataclass
+class DmaPacket(Packet):
+    """A DMA data-transfer request issued by a device's DMA engine."""
+
+    addr: int = 0
+    size: int = 512
+    to_device: bool = False
+    device: str = ""
+
+
+@dataclass
+class InterruptPacket(Packet):
+    """An interrupt raised by a device, routed by the APIC per DS-id."""
+
+    vector: int = 0
+    device: str = ""

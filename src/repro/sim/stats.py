@@ -1,0 +1,166 @@
+"""Statistics primitives used by control planes and experiment harnesses.
+
+Control-plane statistics tables (PARD Fig. 2) store per-DS-id usage
+information such as hit/miss counts, bandwidth and average queueing
+latency. Triggers compare *rates* over recent history, so alongside plain
+counters we provide windowed counters that expose a value over the last
+completed window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class WindowedRate:
+    """A counter whose rate is read out per fixed window.
+
+    ``roll()`` closes the current window: the accumulated amount becomes
+    ``last_window_value`` and accumulation restarts. Control planes roll
+    their statistics at the trigger-evaluation period.
+    """
+
+    __slots__ = ("name", "current", "last_window_value", "windows_completed")
+
+    def __init__(self, name: str = "rate"):
+        self.name = name
+        self.current = 0
+        self.last_window_value = 0
+        self.windows_completed = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.current += amount
+
+    def roll(self) -> int:
+        self.last_window_value = self.current
+        self.current = 0
+        self.windows_completed += 1
+        return self.last_window_value
+
+    def __repr__(self) -> str:
+        return f"WindowedRate({self.name}: last={self.last_window_value})"
+
+
+class LatencyRecorder:
+    """Records latency samples and reports mean/percentiles/CDF.
+
+    Used both by hardware models (memory queueing delay, Fig. 11) and by
+    workloads (memcached response times, Fig. 8).
+    """
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high or ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def cdf(self, points: Optional[Iterable[float]] = None) -> list[tuple[float, float]]:
+        """Empirical CDF as ``(value, cumulative_fraction)`` pairs.
+
+        With ``points`` given, evaluates the CDF at those values;
+        otherwise returns one step per distinct sample.
+        """
+        if not self.samples:
+            return []
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        if points is None:
+            result = []
+            seen = 0
+            previous = None
+            for value in ordered:
+                seen += 1
+                if value != previous:
+                    result.append((value, seen / n))
+                    previous = value
+                else:
+                    result[-1] = (value, seen / n)
+            return result
+        result = []
+        for point in points:
+            covered = _count_le(ordered, point)
+            result.append((float(point), covered / n))
+        return result
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    def __repr__(self) -> str:
+        return f"LatencyRecorder({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+def _count_le(ordered: list[float], point: float) -> int:
+    """Count of values <= point in an ascending list (binary search)."""
+    low, high = 0, len(ordered)
+    while low < high:
+        mid = (low + high) // 2
+        if ordered[mid] <= point:
+            low = mid + 1
+        else:
+            high = mid
+    return low

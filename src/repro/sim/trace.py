@@ -1,0 +1,70 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` collects ``(time_ps, source, event, detail)`` records.
+Tracing is off by default; experiments and tests enable it to assert on
+ordering properties (e.g. that a writeback carried the owner DS-id, or
+that a trigger interrupt preceded the firmware's table write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time_ps: int
+    source: str
+    event: str
+    detail: str = ""
+
+
+class Tracer:
+    """Collects trace records; filterable by source/event."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time_ps: int, source: str, event: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append(TraceRecord(time_ps, source, event, detail))
+
+    def filter(
+        self,
+        source: Optional[str] = None,
+        event: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        result: Iterable[TraceRecord] = self.records
+        if source is not None:
+            result = (r for r in result if r.source == source)
+        if event is not None:
+            result = (r for r in result if r.event == event)
+        if predicate is not None:
+            result = (r for r in result if predicate(r))
+        return list(result)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; the default for hot paths."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def emit(self, time_ps: int, source: str, event: str, detail: str = "") -> None:
+        return
+
+
+NULL_TRACER = NullTracer()

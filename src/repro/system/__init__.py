@@ -1,0 +1,14 @@
+"""Full-system assembly.
+
+- :mod:`repro.system.config` -- Table 2's simulation parameters, plus a
+  uniform scale knob for laptop-speed experiment runs
+- :mod:`repro.system.server` -- wires cores, caches, DRAM, I/O, APIC,
+  control planes and the PRM firmware into one PARD server
+- :mod:`repro.system.experiments` -- drivers that reproduce the paper's
+  evaluation scenarios (Figs. 7-11)
+"""
+
+from repro.system.config import ServerConfig, TABLE2
+from repro.system.server import PardServer
+
+__all__ = ["PardServer", "ServerConfig", "TABLE2"]

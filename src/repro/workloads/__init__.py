@@ -1,0 +1,43 @@
+"""Workload models.
+
+Synthetic but behaviourally faithful versions of the paper's workloads:
+
+- :mod:`repro.workloads.memcached` -- an open-loop latency-critical
+  key-value server (Poisson arrivals, Zipfian keys, per-request latency
+  recording) standing in for memcached 1.4.17 under CloudSuite load
+- :mod:`repro.workloads.stream` -- the STREAM bandwidth microbenchmark
+- :mod:`repro.workloads.cacheflush` -- the paper's CacheFlush
+  microbenchmark (touches more lines than the LLC holds)
+- :mod:`repro.workloads.spec` -- synthetic SPEC CPU2006 memory behaviour
+  models (437.leslie3d, 470.lbm)
+- :mod:`repro.workloads.diskio` -- ``dd``-style disk writers (DiskCopy)
+- :mod:`repro.workloads.base` -- the op-stream protocol and combinators
+"""
+
+from repro.workloads.base import Boot, Sequence, Workload
+from repro.workloads.cacheflush import CacheFlush
+from repro.workloads.diskio import DiskCopy
+from repro.workloads.memcached import MemcachedServer
+from repro.workloads.multiplex import TimeSliced
+from repro.workloads.spec import SyntheticSpec, lbm, leslie3d, libquantum, mcf, omnetpp
+from repro.workloads.stream import Stream
+from repro.workloads.trace import TraceReplay, parse_trace
+
+__all__ = [
+    "Boot",
+    "CacheFlush",
+    "DiskCopy",
+    "MemcachedServer",
+    "Sequence",
+    "Stream",
+    "SyntheticSpec",
+    "TimeSliced",
+    "TraceReplay",
+    "Workload",
+    "lbm",
+    "leslie3d",
+    "libquantum",
+    "mcf",
+    "omnetpp",
+    "parse_trace",
+]

@@ -1,0 +1,103 @@
+"""The workload protocol and combinators.
+
+A workload is an object with an ``ops()`` generator producing the op
+tuples understood by :class:`repro.cpu.core.CpuCore`. Workloads address
+*LDom-physical* memory: their addresses start at 0 and the memory control
+plane relocates them, which is exactly how a guest OS runs unmodified
+inside an LDom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.sim.rng import DeterministicRng
+
+LINE = 64
+
+
+class Workload:
+    """Base class; subclasses implement :meth:`ops`."""
+
+    name = "workload"
+
+    def __init__(self, rng: DeterministicRng | None = None):
+        self.rng = rng or DeterministicRng(1, name=self.name)
+        self.core = None
+
+    def bind(self, core) -> None:
+        """Called by the core when the workload is assigned."""
+        self.core = core
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Subclass hook run at assignment time."""
+
+    def ops(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class Sequence(Workload):
+    """Run workloads one after another (e.g. boot phase, then app)."""
+
+    name = "sequence"
+
+    def __init__(self, stages: Iterable[Workload]):
+        super().__init__()
+        self.stages = list(stages)
+        if not self.stages:
+            raise ValueError("a Sequence needs at least one stage")
+
+    def bind(self, core) -> None:
+        super().bind(core)
+        for stage in self.stages:
+            stage.bind(core)
+
+    def ops(self) -> Iterator[tuple]:
+        for stage in self.stages:
+            yield from stage.ops()
+
+
+class Boot(Workload):
+    """A coarse OS-boot model: touch memory sequentially while computing.
+
+    Fig. 7's timeline shows each LDom booting Linux (visible as a burst
+    of memory traffic) before its application starts; this reproduces
+    that phase's traffic without simulating a kernel.
+    """
+
+    name = "boot"
+
+    def __init__(
+        self,
+        footprint_bytes: int = 1 << 20,
+        compute_cycles_per_line: int = 40,
+        mlp: int = 4,
+        store_every: int = 4,
+    ):
+        super().__init__()
+        if footprint_bytes < LINE:
+            raise ValueError("boot footprint smaller than one cache line")
+        self.footprint_bytes = footprint_bytes
+        self.compute_cycles_per_line = compute_cycles_per_line
+        self.mlp = mlp
+        self.store_every = store_every
+
+    def ops(self) -> Iterator[tuple]:
+        lines = self.footprint_bytes // LINE
+        batch: list[int] = []
+        for i in range(lines):
+            addr = i * LINE
+            if self.store_every and i % self.store_every == 0:
+                if batch:
+                    yield ("loads", batch)
+                    batch = []
+                yield ("store", addr)
+            else:
+                batch.append(addr)
+                if len(batch) >= self.mlp:
+                    yield ("loads", batch)
+                    batch = []
+            yield ("compute", self.compute_cycles_per_line)
+        if batch:
+            yield ("loads", batch)

@@ -1,0 +1,47 @@
+"""The CacheFlush microbenchmark (Fig. 7, LDom2).
+
+Walks a region larger than the whole LLC, line by line, evicting
+everything else. The paper uses it to demonstrate that an unpartitioned
+neighbour can destroy a co-runner's cache occupancy -- and that a way
+mask stops it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import LINE, Workload
+
+
+class CacheFlush(Workload):
+    """Repeatedly touch ``flush_bytes`` of distinct lines."""
+
+    name = "cacheflush"
+
+    def __init__(
+        self,
+        flush_bytes: int = 8 << 20,
+        mlp: int = 8,
+        compute_cycles_per_batch: int = 8,
+        passes: int = 0,  # 0 = run forever
+    ):
+        super().__init__()
+        if flush_bytes < LINE * mlp:
+            raise ValueError("flush region too small")
+        self.flush_bytes = flush_bytes
+        self.mlp = mlp
+        self.compute_cycles_per_batch = compute_cycles_per_batch
+        self.passes = passes
+        self.passes_completed = 0
+
+    def ops(self) -> Iterator[tuple]:
+        lines = self.flush_bytes // LINE
+        while self.passes == 0 or self.passes_completed < self.passes:
+            for start in range(0, lines, self.mlp):
+                batch = [
+                    (start + i) * LINE for i in range(self.mlp) if start + i < lines
+                ]
+                yield ("loads", batch)
+                if self.compute_cycles_per_batch:
+                    yield ("compute", self.compute_cycles_per_batch)
+            self.passes_completed += 1

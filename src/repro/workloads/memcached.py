@@ -1,0 +1,136 @@
+"""The open-loop memcached model.
+
+The paper's §7.1.2 setup: memcached serves an open-loop request stream
+(client and server co-located in the LDom); the metric is the
+95th-percentile response time versus offered load (Fig. 8) and the LLC
+miss-rate timeline (Fig. 9).
+
+The model: requests arrive as a Poisson process at ``rps``; each request
+touches a Zipf-popular object in a fixed working set (hash-table reads
+dominate memcached's memory behaviour) interleaved with protocol/compute
+cycles. Response time = queueing delay in the arrival queue + service
+time, where service time is governed by the memory system -- so LLC
+contention and memory queueing feed straight into the tail, which is the
+paper's causal chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.sim.engine import Engine, PS_PER_MS
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import LatencyRecorder
+from repro.workloads.base import LINE, Workload
+
+
+class MemcachedServer(Workload):
+    """A single-core memcached worker with its own open-loop client."""
+
+    name = "memcached"
+
+    def __init__(
+        self,
+        engine: Engine,
+        rps: float,
+        working_set_bytes: int = 2 << 20,
+        object_lines: int = 4,
+        loads_per_request: int = 160,
+        mlp: int = 2,
+        compute_cycles_per_batch: int = 24,
+        zipf_alpha: float = 0.9,
+        warmup_ps: int = PS_PER_MS,
+        arrivals_until_ps: Optional[int] = None,
+        max_queue: int = 4096,
+        rng: DeterministicRng | None = None,
+    ):
+        super().__init__(rng=rng or DeterministicRng(23, name="memcached"))
+        if rps <= 0:
+            raise ValueError("rps must be positive")
+        if working_set_bytes < LINE * object_lines:
+            raise ValueError("working set too small")
+        self.engine = engine
+        self.rps = rps
+        self.working_set_bytes = working_set_bytes
+        self.object_lines = object_lines
+        self.loads_per_request = loads_per_request
+        self.mlp = mlp
+        self.compute_cycles_per_batch = compute_cycles_per_batch
+        self.zipf_alpha = zipf_alpha
+        self.warmup_ps = warmup_ps
+        self.arrivals_until_ps = arrivals_until_ps
+        self.max_queue = max_queue
+        self.latencies = LatencyRecorder("memcached.response_ms")
+        self.queue: deque[int] = deque()
+        self.requests_arrived = 0
+        self.requests_served = 0
+        self.requests_dropped = 0
+        self._arrivals_started = False
+        self._interarrival_ps = PS_PER_MS * 1000.0 / rps  # mean, in ps
+
+    # -- client (arrival process) ---------------------------------------------
+
+    def on_bind(self) -> None:
+        if not self._arrivals_started:
+            self._arrivals_started = True
+            self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = self.rng.exponential(self._interarrival_ps)
+        self.engine.schedule(max(1, int(gap)), self._arrive)
+
+    def _arrive(self) -> None:
+        now = self.engine.now
+        if self.arrivals_until_ps is not None and now >= self.arrivals_until_ps:
+            return
+        self.requests_arrived += 1
+        if len(self.queue) >= self.max_queue:
+            self.requests_dropped += 1
+        else:
+            self.queue.append(now)
+            if self.core is not None:
+                self.core.wake()
+        self._schedule_next_arrival()
+
+    # -- server loop --------------------------------------------------------------
+
+    def ops(self) -> Iterator[tuple]:
+        num_objects = self.working_set_bytes // (self.object_lines * LINE)
+        batches = max(1, self.loads_per_request // self.mlp)
+        while True:
+            if not self.queue:
+                yield ("block",)
+                continue
+            arrived_at = self.queue.popleft()
+            for _batch in range(batches):
+                yield ("compute", self.compute_cycles_per_batch)
+                obj = self.rng.zipf_index(num_objects, self.zipf_alpha)
+                base_line = obj * self.object_lines
+                batch = [
+                    (base_line + self.rng.randint(0, self.object_lines - 1)) * LINE
+                    for _ in range(self.mlp)
+                ]
+                yield ("loads", batch)
+            yield ("call", self._make_completion(arrived_at))
+
+    def _make_completion(self, arrived_at: int):
+        def complete() -> None:
+            self.requests_served += 1
+            if arrived_at >= self.warmup_ps:
+                latency_ms = (self.engine.now - arrived_at) / PS_PER_MS
+                self.latencies.record(latency_ms)
+        return complete
+
+    # -- results ---------------------------------------------------------------------
+
+    def p95_ms(self) -> float:
+        return self.latencies.p95()
+
+    def mean_ms(self) -> float:
+        return self.latencies.mean
+
+    def throughput_rps(self, duration_ps: int) -> float:
+        if duration_ps <= 0:
+            return 0.0
+        return self.requests_served / (duration_ps / (PS_PER_MS * 1000.0))

@@ -1,0 +1,82 @@
+"""Time-sliced workload multiplexing with per-slice retagging.
+
+One of the paper's open problems (§10): "how to make OS directly run on
+PARD server to support *process-level* DiffServ?" The hardware hook
+already exists -- the per-core DS-id tag register -- and the missing
+piece is an OS scheduler that rewrites it at context-switch time.
+
+:class:`TimeSliced` models exactly that: it multiplexes several
+workloads on one core in round-robin time slices, writing the core's tag
+register at every switch, so each process's traffic is tagged with its
+own DS-id and the shared-resource control planes can tell co-scheduled
+processes apart *within* one LDom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.workloads.base import Workload
+
+
+class TimeSliced(Workload):
+    """Round-robin multiplexing of workloads with per-slice DS-ids.
+
+    ``entries`` is a sequence of ``(workload, ds_id)``; each gets
+    ``slice_cycles`` of execution before the scheduler switches. Memory
+    time inside a slice does not count against the slice budget (the
+    budget models a tick-based OS scheduler, which charges compute).
+    """
+
+    name = "timesliced"
+
+    def __init__(
+        self,
+        entries: Sequence[tuple[Workload, int]],
+        slice_cycles: int = 20_000,
+        switch_overhead_cycles: int = 200,
+    ):
+        super().__init__()
+        if not entries:
+            raise ValueError("need at least one (workload, ds_id) entry")
+        if slice_cycles <= 0:
+            raise ValueError("slice_cycles must be positive")
+        if switch_overhead_cycles < 0:
+            raise ValueError("switch overhead cannot be negative")
+        self.entries = list(entries)
+        self.slice_cycles = slice_cycles
+        self.switch_overhead_cycles = switch_overhead_cycles
+        self.context_switches = 0
+
+    def bind(self, core) -> None:
+        super().bind(core)
+        for workload, _ds_id in self.entries:
+            workload.bind(core)
+
+    def _set_tag(self, ds_id: int):
+        def write() -> None:
+            if self.core is not None:
+                self.core.tag.write(ds_id)
+        return write
+
+    def ops(self) -> Iterator[tuple]:
+        iterators = [iter(w.ops()) for w, _ in self.entries]
+        live = list(range(len(self.entries)))
+        while live:
+            for index in list(live):
+                iterator = iterators[index]
+                _workload, ds_id = self.entries[index]
+                yield ("call", self._set_tag(ds_id))
+                if self.switch_overhead_cycles:
+                    yield ("compute", self.switch_overhead_cycles)
+                self.context_switches += 1
+                budget = self.slice_cycles
+                while budget > 0:
+                    try:
+                        op = next(iterator)
+                    except StopIteration:
+                        live.remove(index)
+                        break
+                    if op[0] == "compute":
+                        budget -= op[1]
+                    yield op

@@ -1,0 +1,112 @@
+"""Trace-driven workloads.
+
+Lets users replay recorded access traces through the tagged memory
+hierarchy -- the standard way to drive an architectural simulator with
+real application behaviour when the application itself cannot run
+inside it.
+
+Trace records are ``(kind, value)`` tuples or text lines:
+
+====== ======================= =================================
+kind   value                   text form
+====== ======================= =================================
+R      address                 ``R 0x1a40``
+W      address                 ``W 6720``
+C      cycles of compute       ``C 120``
+====== ======================= =================================
+
+Addresses are LDom-physical, like every other workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.workloads.base import Workload
+
+
+class TraceError(ValueError):
+    """A malformed trace record."""
+
+
+def parse_trace_line(line: str, line_number: int = 0) -> tuple[str, int]:
+    """Parse one text trace line into a ``(kind, value)`` record."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        raise TraceError(f"line {line_number}: empty record")
+    parts = text.split()
+    if len(parts) != 2:
+        raise TraceError(f"line {line_number}: expected 'KIND VALUE', got {line!r}")
+    kind = parts[0].upper()
+    if kind not in ("R", "W", "C"):
+        raise TraceError(f"line {line_number}: unknown kind {kind!r}")
+    try:
+        value = int(parts[1], 0)
+    except ValueError:
+        raise TraceError(f"line {line_number}: bad value {parts[1]!r}")
+    if value < 0:
+        raise TraceError(f"line {line_number}: negative value")
+    return kind, value
+
+
+def parse_trace(lines: Iterable[str]) -> list[tuple[str, int]]:
+    """Parse a text trace, skipping blank and comment-only lines."""
+    records = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        records.append(parse_trace_line(line, number))
+    return records
+
+
+class TraceReplay(Workload):
+    """Replay a list of trace records, optionally in a loop."""
+
+    name = "trace"
+
+    def __init__(
+        self,
+        records: Iterable[tuple[str, int]],
+        repeat: int = 1,
+        mlp: int = 1,
+    ):
+        super().__init__()
+        self.records = list(records)
+        if not self.records:
+            raise TraceError("empty trace")
+        if repeat < 0:
+            raise ValueError("repeat must be non-negative (0 = forever)")
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        self.repeat = repeat
+        self.mlp = mlp
+        self.replays_completed = 0
+        for record in self.records:
+            if record[0] not in ("R", "W", "C"):
+                raise TraceError(f"unknown record kind {record[0]!r}")
+
+    @classmethod
+    def from_text(cls, text: str, **kwargs) -> "TraceReplay":
+        return cls(parse_trace(text.splitlines()), **kwargs)
+
+    def ops(self) -> Iterator[tuple]:
+        while self.repeat == 0 or self.replays_completed < self.repeat:
+            batch: list[int] = []
+            for kind, value in self.records:
+                if kind == "R":
+                    batch.append(value)
+                    if len(batch) >= self.mlp:
+                        yield ("loads", batch)
+                        batch = []
+                    continue
+                if batch:
+                    yield ("loads", batch)
+                    batch = []
+                if kind == "W":
+                    yield ("store", value)
+                else:
+                    yield ("compute", value)
+            if batch:
+                yield ("loads", batch)
+            self.replays_completed += 1

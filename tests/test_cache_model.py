@@ -1,0 +1,278 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from tests.helpers import FakeMemory
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.control_plane import LlcControlPlane
+from repro.sim.clock import ClockDomain, CPU_CLOCK_PS
+from repro.sim.engine import Engine
+from repro.sim.packet import MemOp, MemoryPacket
+
+
+def make_cache(engine=None, size=8192, ways=4, line=64, hit_lat=2, control=None, mem_lat=50_000):
+    engine = engine or Engine()
+    clock = ClockDomain(engine, CPU_CLOCK_PS)
+    memory = FakeMemory(engine, latency_ps=mem_lat)
+    config = CacheConfig(
+        name="l2", size_bytes=size, ways=ways, line_size=line, hit_latency_cycles=hit_lat
+    )
+    cache = Cache(engine, clock, config, memory, control=control)
+    return engine, cache, memory
+
+
+def access(engine, cache, addr, ds_id=0, op=MemOp.READ):
+    """Issue one access and run to completion; returns (latency_ps, packet)."""
+    done = []
+    start = engine.now
+    pkt = MemoryPacket(ds_id=ds_id, addr=addr, op=op, birth_ps=start)
+    cache.handle_request(pkt, lambda p: done.append(engine.now - start))
+    engine.run()
+    assert done, "access never completed"
+    return done[0], pkt
+
+
+class TestGeometry:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=100, ways=4, line_size=64)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=0, ways=4)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=12 * 64 * 4, ways=12)  # non-pow2 ways
+
+    def test_table2_llc_geometry(self):
+        # 4MB 16-way with 64B lines -> 4096 sets.
+        config = CacheConfig("llc", size_bytes=4 * 1024 * 1024, ways=16)
+        assert config.num_sets == 4096
+
+    def test_table2_l1_geometry(self):
+        # 64KB 2-way -> 512 sets.
+        config = CacheConfig("l1", size_bytes=64 * 1024, ways=2)
+        assert config.num_sets == 512
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        engine, cache, memory = make_cache()
+        miss_lat, _ = access(engine, cache, 0x1000)
+        hit_lat, _ = access(engine, cache, 0x1000)
+        assert cache.total_misses == 1
+        assert cache.total_hits == 1
+        assert miss_lat > hit_lat
+        assert len(memory.requests) == 1
+
+    def test_hit_latency_is_configured_cycles(self):
+        engine, cache, _ = make_cache(hit_lat=20)
+        access(engine, cache, 0x40)
+        hit_lat, _ = access(engine, cache, 0x40)
+        assert hit_lat == 20 * CPU_CLOCK_PS
+
+    def test_same_line_different_offset_hits(self):
+        engine, cache, memory = make_cache()
+        access(engine, cache, 0x1000)
+        access(engine, cache, 0x1030)  # same 64B line
+        assert cache.total_hits == 1
+        assert len(memory.requests) == 1
+
+    def test_dsid_mismatch_is_a_miss(self):
+        # PARD Fig. 4: a hit requires both tag match and owner-DS-id match.
+        engine, cache, memory = make_cache()
+        access(engine, cache, 0x1000, ds_id=1)
+        access(engine, cache, 0x1000, ds_id=2)
+        assert cache.total_misses == 2
+        assert len(memory.requests) == 2
+
+    def test_write_allocates_and_marks_dirty(self):
+        engine, cache, memory = make_cache()
+        access(engine, cache, 0x1000, op=MemOp.WRITE)
+        assert cache.total_misses == 1
+        # Evict the line by filling the set; a writeback must be issued.
+        config = cache.config
+        set_stride = config.num_sets * config.line_size
+        for i in range(1, config.ways + 1):
+            access(engine, cache, 0x1000 + i * set_stride)
+        writebacks = memory.requests_of(op=MemOp.WRITEBACK)
+        assert len(writebacks) == 1
+        assert writebacks[0].addr == 0x1000
+
+    def test_clean_eviction_has_no_writeback(self):
+        engine, cache, memory = make_cache()
+        config = cache.config
+        set_stride = config.num_sets * config.line_size
+        for i in range(config.ways + 2):
+            access(engine, cache, i * set_stride)
+        assert memory.requests_of(op=MemOp.WRITEBACK) == []
+
+    def test_capacity_evictions_cycle_the_set(self):
+        engine, cache, memory = make_cache(ways=2)
+        stride = cache.config.num_sets * cache.config.line_size
+        for i in range(4):
+            access(engine, cache, i * stride)
+        # Re-access the first line: must have been evicted (2-way set).
+        access(engine, cache, 0)
+        assert cache.total_misses == 5
+
+
+class TestWritebackDsid:
+    def test_writeback_carries_owner_dsid(self):
+        # The block is dirtied by DS-id 2; DS-id 1 later causes the
+        # eviction. The DRAM-bound writeback must be charged to DS-id 2.
+        engine, cache, memory = make_cache(ways=2)
+        stride = cache.config.num_sets * cache.config.line_size
+        access(engine, cache, 0x0, ds_id=2, op=MemOp.WRITE)
+        access(engine, cache, stride, ds_id=1)
+        access(engine, cache, 2 * stride, ds_id=1)
+        access(engine, cache, 3 * stride, ds_id=1)
+        writebacks = memory.requests_of(op=MemOp.WRITEBACK)
+        assert len(writebacks) == 1
+        assert writebacks[0].owner_ds_id == 2
+        assert writebacks[0].effective_ds_id == 2
+
+
+class TestMshrBehaviour:
+    def test_concurrent_misses_to_same_line_merge(self):
+        engine, cache, memory = make_cache()
+        done = []
+        for _ in range(3):
+            pkt = MemoryPacket(ds_id=1, addr=0x2000)
+            cache.handle_request(pkt, lambda p: done.append(engine.now))
+        engine.run()
+        assert len(done) == 3
+        assert len(memory.requests) == 1  # one fill serves all three
+
+    def test_mshr_full_retries_and_completes(self):
+        engine, cache, memory = make_cache()
+        cache.mshrs.num_entries = 1
+        done = []
+        for i in range(3):
+            pkt = MemoryPacket(ds_id=1, addr=0x1000 * (i + 1))
+            cache.handle_request(pkt, lambda p: done.append(p.addr))
+        engine.run()
+        assert len(done) == 3
+        assert len(memory.requests) == 3
+
+
+class TestOccupancyAccounting:
+    def make_llc(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=4)
+        control.allocate_ldom(1)
+        control.allocate_ldom(2)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        memory = FakeMemory(engine)
+        config = CacheConfig("llc", size_bytes=4 * 4 * 64, ways=4)  # 4 sets
+        cache = Cache(engine, clock, config, memory, control=control)
+        return engine, cache, control
+
+    def test_fill_and_eviction_tracked(self):
+        engine, cache, control = self.make_llc()
+        for i in range(4):
+            access(engine, cache, i * 4 * 64, ds_id=1)  # 4 lines, one set
+        assert control.occupancy_bytes(1) == 4 * 64
+        # DS-id 2 steals one way.
+        access(engine, cache, 0x10000, ds_id=2)
+        assert control.occupancy_bytes(2) == 64
+        assert control.occupancy_bytes(1) == 3 * 64
+
+    def test_occupancy_matches_tag_array_scan(self):
+        engine, cache, control = self.make_llc()
+        for i in range(10):
+            access(engine, cache, i * 64, ds_id=1)
+        for i in range(5):
+            access(engine, cache, i * 64, ds_id=2)
+        assert control.occupancy_bytes(1) == cache.occupancy_blocks(1) * 64
+        assert control.occupancy_bytes(2) == cache.occupancy_blocks(2) * 64
+
+
+class TestWayPartitioning:
+    def make_partitioned(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=4)
+        control.allocate_ldom(1, waymask=0b0011)
+        control.allocate_ldom(2, waymask=0b1100)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        memory = FakeMemory(engine)
+        config = CacheConfig("llc", size_bytes=1 * 4 * 64, ways=4)  # 1 set
+        cache = Cache(engine, clock, config, memory, control=control)
+        return engine, cache, control
+
+    def test_partition_prevents_cross_eviction(self):
+        engine, cache, control = self.make_partitioned()
+        # DS-id 1 fills its 2 ways.
+        access(engine, cache, 0, ds_id=1)
+        access(engine, cache, 64 * 1, ds_id=1)  # one set: stride = 64
+        # DS-id 2 streams many lines; confined to its own 2 ways.
+        for i in range(10):
+            access(engine, cache, (i + 8) * 64, ds_id=2)
+        # DS-id 1's lines must still be resident: re-access hits.
+        hits_before = cache.total_hits
+        access(engine, cache, 0, ds_id=1)
+        access(engine, cache, 64, ds_id=1)
+        assert cache.total_hits == hits_before + 2
+        assert cache.occupancy_blocks(2) <= 2
+
+    def test_unpartitioned_sharing_allows_theft(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=4)
+        control.allocate_ldom(1)
+        control.allocate_ldom(2)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        memory = FakeMemory(engine)
+        config = CacheConfig("llc", size_bytes=1 * 4 * 64, ways=4)
+        cache = Cache(engine, clock, config, memory, control=control)
+        access(engine, cache, 0, ds_id=1)
+        for i in range(8):
+            access(engine, cache, (i + 8) * 64, ds_id=2)
+        hits_before = cache.total_hits
+        access(engine, cache, 0, ds_id=1)  # evicted by ds2's stream
+        assert cache.total_hits == hits_before
+
+    def test_mask_reprogram_takes_effect_on_new_fills(self):
+        engine, cache, control = self.make_partitioned()
+        control.parameters.set(2, "waymask", 0b1111)  # give ds2 everything
+        for i in range(10):
+            access(engine, cache, (i + 8) * 64, ds_id=2)
+        assert cache.occupancy_blocks(2) == 4
+
+
+class TestControlPlaneBinding:
+    def test_way_count_mismatch_rejected(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=16)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        memory = FakeMemory(engine)
+        config = CacheConfig("llc", size_bytes=4 * 4 * 64, ways=4)
+        with pytest.raises(ValueError):
+            Cache(engine, clock, config, memory, control=control)
+
+    def test_miss_rate_published_per_window(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=4)
+        control.allocate_ldom(1)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        memory = FakeMemory(engine)
+        config = CacheConfig("llc", size_bytes=4 * 4 * 64, ways=4)
+        cache = Cache(engine, clock, config, memory, control=control)
+        access(engine, cache, 0, ds_id=1)      # miss
+        access(engine, cache, 0, ds_id=1)      # hit
+        access(engine, cache, 64, ds_id=1)     # miss
+        access(engine, cache, 64, ds_id=1)     # hit
+        control.roll_window()
+        assert control.statistics.get(1, "miss_rate") == 5000  # 50% in bp
+        assert control.statistics.get(1, "hit_cnt") == 2
+        assert control.statistics.get(1, "miss_cnt") == 2
+        assert control.last_window_miss_rate(1) == pytest.approx(0.5)
+
+    def test_idle_window_keeps_previous_rate(self):
+        engine = Engine()
+        control = LlcControlPlane(engine, num_ways=4)
+        control.allocate_ldom(1)
+        clock = ClockDomain(engine, CPU_CLOCK_PS)
+        config = CacheConfig("llc", size_bytes=4 * 4 * 64, ways=4)
+        cache = Cache(engine, clock, config, FakeMemory(engine), control=control)
+        access(engine, cache, 0, ds_id=1)
+        control.roll_window()
+        first = control.statistics.get(1, "miss_rate")
+        control.roll_window()  # no accesses this window
+        assert control.statistics.get(1, "miss_rate") == first

@@ -1,0 +1,157 @@
+"""Unit tests for the CPA register programming protocol."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.programming import (
+    CMD_READ,
+    CMD_WRITE,
+    CpaRegisterFile,
+    ProtocolError,
+    REG_ADDR,
+    REG_CMD,
+    REG_DATA,
+    REG_IDENT,
+    REG_IDENT_HIGH,
+    REG_TYPE,
+    TABLE_PARAMETER,
+    TABLE_STATISTICS,
+    TABLE_TRIGGER,
+    pack_addr,
+    unpack_addr,
+)
+
+
+class TestAddrPacking:
+    def test_layout_matches_figure6(self):
+        # addr = [31:16] DS-id | [15:2] offset | [1:0] table
+        addr = pack_addr(ds_id=0x1234, offset=0x5, table=TABLE_TRIGGER)
+        assert addr == (0x1234 << 16) | (0x5 << 2) | 2
+
+    def test_roundtrip(self):
+        addr = pack_addr(42, 17, TABLE_STATISTICS)
+        assert unpack_addr(addr) == (42, 17, TABLE_STATISTICS)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0x3FFF),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_property_roundtrip(self, ds_id, offset, table):
+        assert unpack_addr(pack_addr(ds_id, offset, table)) == (ds_id, offset, table)
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_addr(0x1_0000, 0, 0)
+        with pytest.raises(ProtocolError):
+            pack_addr(0, 0x4000, 0)
+        with pytest.raises(ProtocolError):
+            pack_addr(0, 0, 4)
+
+    def test_unpack_rejects_wide_values(self):
+        with pytest.raises(ProtocolError):
+            unpack_addr(1 << 32)
+
+
+def make_register_file():
+    """A register file backed by an in-memory fake table set."""
+    cells = {}
+
+    def reader(table, ds_id, offset):
+        return cells.get((table, ds_id, offset), 0)
+
+    def writer(table, ds_id, offset, value):
+        cells[(table, ds_id, offset)] = value
+
+    return CpaRegisterFile("CACHE_CP", "C", reader, writer), cells
+
+
+class TestCpaRegisterFile:
+    def test_write_then_read_cell(self):
+        rf, cells = make_register_file()
+        rf.write_cell(ds_id=1, offset=0, table=TABLE_PARAMETER, value=0xFF00)
+        assert cells[(TABLE_PARAMETER, 1, 0)] == 0xFF00
+        assert rf.read_cell(1, 0, TABLE_PARAMETER) == 0xFF00
+
+    def test_issue_requires_addr_setup(self):
+        rf, cells = make_register_file()
+        rf.write_addr(3, 2, TABLE_STATISTICS)
+        rf.data = 99
+        rf.issue(CMD_WRITE)
+        assert cells[(TABLE_STATISTICS, 3, 2)] == 99
+
+    def test_read_loads_data_register(self):
+        rf, cells = make_register_file()
+        cells[(TABLE_TRIGGER, 2, 1)] = 1234
+        rf.write_addr(2, 1, TABLE_TRIGGER)
+        rf.issue(CMD_READ)
+        assert rf.data == 1234
+
+    def test_unknown_command_rejected(self):
+        rf, _ = make_register_file()
+        with pytest.raises(ProtocolError):
+            rf.issue(7)
+
+    def test_data_register_is_64_bit(self):
+        rf, cells = make_register_file()
+        rf.write_cell(0, 0, TABLE_PARAMETER, (1 << 64) + 5)
+        assert cells[(TABLE_PARAMETER, 0, 0)] == 5
+
+    def test_ident_too_long_rejected(self):
+        with pytest.raises(ProtocolError):
+            CpaRegisterFile("X" * 13, "C", lambda *a: 0, lambda *a: None)
+
+    def test_type_code_single_char(self):
+        with pytest.raises(ProtocolError):
+            CpaRegisterFile("OK", "CC", lambda *a: 0, lambda *a: None)
+
+
+class TestMmioAccess:
+    def test_ident_registers_encode_string(self):
+        rf, _ = make_register_file()
+        low = rf.mmio_read(REG_IDENT).to_bytes(8, "little").rstrip(b"\0")
+        high = rf.mmio_read(REG_IDENT_HIGH).to_bytes(4, "little").rstrip(b"\0")
+        assert (low + high).decode() == "CACHE_CP"
+
+    def test_type_register(self):
+        rf, _ = make_register_file()
+        assert rf.mmio_read(REG_TYPE) == ord("C")
+
+    def test_mmio_write_cmd_performs_access(self):
+        rf, cells = make_register_file()
+        rf.mmio_write(REG_ADDR, pack_addr(1, 0, TABLE_PARAMETER))
+        rf.mmio_write(REG_DATA, 0xABCD)
+        rf.mmio_write(REG_CMD, CMD_WRITE)
+        assert cells[(TABLE_PARAMETER, 1, 0)] == 0xABCD
+
+    def test_mmio_read_after_read_cmd(self):
+        rf, cells = make_register_file()
+        cells[(TABLE_PARAMETER, 5, 1)] = 321
+        rf.mmio_write(REG_ADDR, pack_addr(5, 1, TABLE_PARAMETER))
+        rf.mmio_write(REG_CMD, CMD_READ)
+        assert rf.mmio_read(REG_DATA) == 321
+
+    def test_ident_read_only(self):
+        rf, _ = make_register_file()
+        with pytest.raises(ProtocolError):
+            rf.mmio_write(REG_IDENT, 1)
+        with pytest.raises(ProtocolError):
+            rf.mmio_write(REG_TYPE, 1)
+
+    def test_invalid_register_offsets(self):
+        rf, _ = make_register_file()
+        with pytest.raises(ProtocolError):
+            rf.mmio_read(4)
+        with pytest.raises(ProtocolError):
+            rf.mmio_write(30, 0)
+
+    def test_addr_register_width_checked(self):
+        rf, _ = make_register_file()
+        with pytest.raises(ProtocolError):
+            rf.mmio_write(REG_ADDR, 1 << 32)
+
+    def test_cmd_register_reads_last_cmd(self):
+        rf, _ = make_register_file()
+        assert rf.mmio_read(REG_CMD) == 0
+        rf.write_cell(0, 0, TABLE_PARAMETER, 1)
+        assert rf.mmio_read(REG_CMD) == CMD_WRITE

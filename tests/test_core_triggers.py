@@ -1,0 +1,102 @@
+"""Unit tests for trigger operators and rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.triggers import TriggerOp, TriggerRule
+
+
+class TestTriggerOp:
+    @pytest.mark.parametrize(
+        "op,observed,threshold,expected",
+        [
+            (TriggerOp.GT, 31, 30, True),
+            (TriggerOp.GT, 30, 30, False),
+            (TriggerOp.LT, 29, 30, True),
+            (TriggerOp.LT, 30, 30, False),
+            (TriggerOp.GE, 30, 30, True),
+            (TriggerOp.LE, 30, 30, True),
+            (TriggerOp.EQ, 30, 30, True),
+            (TriggerOp.EQ, 31, 30, False),
+            (TriggerOp.NE, 31, 30, True),
+            (TriggerOp.NE, 30, 30, False),
+        ],
+    )
+    def test_apply(self, op, observed, threshold, expected):
+        assert op.apply(observed, threshold) is expected
+
+    @pytest.mark.parametrize(
+        "symbol,op",
+        [
+            ("gt", TriggerOp.GT), (">", TriggerOp.GT),
+            ("lt", TriggerOp.LT), ("<", TriggerOp.LT),
+            ("GE", TriggerOp.GE), (">=", TriggerOp.GE),
+            ("le", TriggerOp.LE), ("<=", TriggerOp.LE),
+            ("eq", TriggerOp.EQ), ("==", TriggerOp.EQ),
+            ("ne", TriggerOp.NE), ("!=", TriggerOp.NE),
+        ],
+    )
+    def test_from_symbol(self, symbol, op):
+        assert TriggerOp.from_symbol(symbol) is op
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            TriggerOp.from_symbol("~=")
+
+    def test_symbol_roundtrip(self):
+        for op in TriggerOp:
+            assert TriggerOp.from_symbol(op.symbol) is op
+
+
+class TestTriggerRule:
+    def make_rule(self, threshold=3000):
+        # The paper's running example: MissRate > 30% (basis points).
+        return TriggerRule(ds_id=2, stat_column="miss_rate", op=TriggerOp.GT, threshold=threshold)
+
+    def test_fires_on_condition(self):
+        rule = self.make_rule()
+        assert rule.evaluate(3500) is True
+        assert rule.fire_count == 1
+
+    def test_does_not_fire_below_threshold(self):
+        rule = self.make_rule()
+        assert rule.evaluate(2999) is False
+        assert rule.fire_count == 0
+
+    def test_edge_armed_no_refire_while_standing(self):
+        rule = self.make_rule()
+        assert rule.evaluate(3500) is True
+        assert rule.evaluate(3600) is False  # still true, but not re-armed
+        assert rule.fire_count == 1
+
+    def test_rearms_after_condition_clears(self):
+        rule = self.make_rule()
+        assert rule.evaluate(3500) is True
+        assert rule.evaluate(1000) is False  # condition false -> re-arm
+        assert rule.evaluate(4000) is True
+        assert rule.fire_count == 2
+
+    def test_disabled_rule_never_fires(self):
+        rule = self.make_rule()
+        rule.enabled = False
+        assert rule.evaluate(9999) is False
+
+    def test_describe_is_readable(self):
+        text = self.make_rule().describe()
+        assert "miss_rate" in text
+        assert ">" in text
+        assert "3000" in text
+
+    @given(st.lists(st.integers(min_value=0, max_value=10000), min_size=1, max_size=100))
+    def test_property_fire_count_bounded_by_transitions(self, observations):
+        """fire_count equals the number of false->true transitions."""
+        rule = self.make_rule()
+        previous_true = False
+        expected = 0
+        for value in observations:
+            now_true = value > 3000
+            if now_true and not previous_true:
+                expected += 1
+            rule.evaluate(value)
+            previous_true = now_true
+        assert rule.fire_count == expected

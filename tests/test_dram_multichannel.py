@@ -1,0 +1,77 @@
+"""Tests for the multi-channel memory router."""
+
+import pytest
+
+from repro.dram.control_plane import MemoryControlPlane
+from repro.dram.multichannel import MultiChannelMemory
+from repro.sim.clock import ClockDomain, DRAM_CLOCK_PS
+from repro.sim.engine import Engine
+from repro.sim.packet import MemoryPacket
+
+
+def make(channels=4, control=False, interleave=1024):
+    engine = Engine()
+    clock = ClockDomain(engine, DRAM_CLOCK_PS)
+    plane = None
+    if control:
+        plane = MemoryControlPlane(engine)
+        plane.allocate_ldom(1, addr_base=0, addr_size=8 << 20, priority=1)
+    memory = MultiChannelMemory(
+        engine, clock, channels=channels, control=plane, interleave_bytes=interleave
+    )
+    return engine, memory, plane
+
+
+class TestRouting:
+    def test_interleave_round_robins_rows(self):
+        _, memory, _ = make(channels=4, interleave=1024)
+        assert [memory.channel_of(i * 1024) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_row_same_channel(self):
+        _, memory, _ = make()
+        assert memory.channel_of(0) == memory.channel_of(1023)
+
+    def test_requests_distribute_across_channels(self):
+        engine, memory, _ = make(channels=4)
+        done = []
+        for i in range(64):
+            memory.handle_request(MemoryPacket(addr=i * 1024), done.append)
+        engine.run()
+        assert len(done) == 64
+        loads = memory.channel_loads()
+        assert all(load == 16 for load in loads)
+        assert memory.served_requests == 64
+        assert memory.served_bytes == 64 * 64
+
+    def test_parallel_channels_faster_than_one(self):
+        def runtime(channels):
+            engine, memory, _ = make(channels=channels)
+            for i in range(64):
+                memory.handle_request(MemoryPacket(addr=i * 1024), lambda p: None)
+            engine.run()
+            return engine.now
+
+        assert runtime(4) < runtime(1)
+
+    def test_translation_happens_once_in_router(self):
+        engine, memory, plane = make(channels=2, control=True)
+        done = []
+        memory.handle_request(MemoryPacket(ds_id=1, addr=0), done.append)
+        engine.run()
+        assert len(done) == 1
+        # The packet was rewritten to its DRAM address by the router.
+        assert done[0].addr == plane.translate(1, 0)
+
+    def test_priority_respected_per_channel(self):
+        engine, memory, plane = make(channels=2, control=True)
+        plane.allocate_ldom(2, addr_base=8 << 20, addr_size=8 << 20, priority=0)
+        for controller in memory.controllers:
+            assert controller.scheduler.priority_levels == 2
+
+    def test_validation(self):
+        engine = Engine()
+        clock = ClockDomain(engine, DRAM_CLOCK_PS)
+        with pytest.raises(ValueError):
+            MultiChannelMemory(engine, clock, channels=0)
+        with pytest.raises(ValueError):
+            MultiChannelMemory(engine, clock, interleave_bytes=1000)

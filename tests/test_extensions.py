@@ -1,0 +1,141 @@
+"""Unit tests for the §8 extensions: differentiated engines and flow-id
+tagging."""
+
+import pytest
+
+from tests.helpers import FakeMemory
+from repro.extensions.engines import (
+    CompressionEngine,
+    EncryptionEngine,
+    EngineControlPlane,
+)
+from repro.extensions.flow import FlowTable
+from repro.io.nic import MultiQueueNic, NicControlPlane
+from repro.sim.engine import Engine
+from repro.sim.packet import MemoryPacket
+
+
+def make_compression(latency=12, ratio=50):
+    engine = Engine()
+    memory = FakeMemory(engine, latency_ps=10_000)
+    control = EngineControlPlane(engine)
+    control.allocate_ldom(1, enabled=1, ratio_pct=ratio)
+    control.allocate_ldom(2)  # disabled
+    mxt = CompressionEngine(engine, memory, control, latency_cycles=latency)
+    return engine, memory, control, mxt
+
+
+class TestCompressionEngine:
+    def test_designated_dsid_compressed(self):
+        engine, memory, _, mxt = make_compression()
+        done = []
+        mxt.handle_request(MemoryPacket(ds_id=1, addr=0, size=64), done.append)
+        engine.run()
+        assert memory.requests[0].size == 32  # 50% ratio
+        assert done[0].size == 64  # caller sees the original packet
+        assert mxt.transformed == 1
+
+    def test_other_dsids_pass_through(self):
+        engine, memory, _, mxt = make_compression()
+        done = []
+        mxt.handle_request(MemoryPacket(ds_id=2, addr=0, size=64), done.append)
+        engine.run()
+        assert memory.requests[0].size == 64
+        assert mxt.passed_through == 1
+
+    def test_latency_paid_both_ways(self):
+        engine, memory, _, mxt = make_compression(latency=12)
+        times = {}
+        mxt.handle_request(MemoryPacket(ds_id=1, addr=0), lambda p: times.update(on=engine.now))
+        engine.run()
+        # 12 cycles in + memory 10000ps + 12 cycles out.
+        assert times["on"] == 12 * 500 + 10_000 + 12 * 500
+
+    def test_pass_through_has_no_latency(self):
+        engine, memory, _, mxt = make_compression()
+        times = {}
+        mxt.handle_request(MemoryPacket(ds_id=2, addr=0), lambda p: times.update(on=engine.now))
+        engine.run()
+        assert times["on"] == 10_000
+
+    def test_statistics_recorded(self):
+        engine, memory, control, mxt = make_compression()
+        mxt.handle_request(MemoryPacket(ds_id=1, addr=0, size=64), lambda p: None)
+        engine.run()
+        control.roll_window()
+        assert control.statistics.get(1, "bytes_in") == 64
+        assert control.statistics.get(1, "bytes_out") == 32
+        assert control.statistics.get(1, "ops") == 1
+
+    def test_ratio_reprogrammable(self):
+        engine, memory, control, mxt = make_compression(ratio=25)
+        mxt.handle_request(MemoryPacket(ds_id=1, addr=0, size=64), lambda p: None)
+        engine.run()
+        assert memory.requests[0].size == 16
+
+    def test_negative_latency_rejected(self):
+        engine = Engine()
+        control = EngineControlPlane(engine)
+        with pytest.raises(ValueError):
+            CompressionEngine(engine, FakeMemory(engine), control, latency_cycles=-1)
+
+
+class TestEncryptionEngine:
+    def test_size_unchanged_latency_added(self):
+        engine = Engine()
+        memory = FakeMemory(engine, latency_ps=5_000)
+        control = EngineControlPlane(engine)
+        control.allocate_ldom(3, enabled=1)
+        aes = EncryptionEngine(engine, memory, control, latency_cycles=20)
+        times = {}
+        aes.handle_request(MemoryPacket(ds_id=3, addr=0, size=64), lambda p: times.update(on=engine.now))
+        engine.run()
+        assert memory.requests[0].size == 64
+        assert times["on"] == 20 * 500 + 5_000 + 20 * 500
+
+
+class TestFlowTable:
+    def make_flow_nic(self):
+        engine = Engine()
+        memory = FakeMemory(engine, latency_ps=100)
+        control = NicControlPlane(engine)
+        control.allocate_ldom(1)
+        control.allocate_ldom(2)
+        nic = MultiQueueNic(engine, memory=memory, control=control)
+        return engine, memory, FlowTable(nic)
+
+    def test_flow_classification_tags_dma(self):
+        engine, memory, flows = self.make_flow_nic()
+        flows.map_flow(0xABCD, ds_id=2)
+        assert flows.receive(0xABCD, 1500) is True
+        engine.run()
+        assert memory.requests[0].ds_id == 2
+
+    def test_unmatched_flow_dropped(self):
+        engine, memory, flows = self.make_flow_nic()
+        assert flows.receive(0x1234, 1500) is False
+        assert flows.unmatched == 1
+        engine.run()
+        assert memory.requests == []
+
+    def test_flow_update_and_unmap(self):
+        _, _, flows = self.make_flow_nic()
+        flows.map_flow(1, 1)
+        flows.map_flow(1, 2)  # update, not new entry
+        assert flows.flow_count == 1
+        assert flows.ds_id_of(1) == 2
+        flows.unmap_flow(1)
+        assert flows.ds_id_of(1) is None
+
+    def test_capacity(self):
+        engine = Engine()
+        nic = MultiQueueNic(engine)
+        flows = FlowTable(nic, max_flows=1)
+        flows.map_flow(1, 1)
+        with pytest.raises(OverflowError):
+            flows.map_flow(2, 1)
+
+    def test_dsid_range(self):
+        _, _, flows = self.make_flow_nic()
+        with pytest.raises(ValueError):
+            flows.map_flow(1, 1 << 16)

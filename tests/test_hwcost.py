@@ -1,0 +1,109 @@
+"""Unit tests for the FPGA cost model (Fig. 12 anchors and scaling)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hwcost.fpga import (
+    ControlPlaneCost,
+    LLC_CONTROLLER_LUT_FF,
+    MIG_CONTROLLER_LUT_FF,
+    ResourceEstimate,
+    llc_control_plane_cost,
+    memory_control_plane_cost,
+    priority_queue_cost,
+    table_pair_cost,
+    tag_array_blockram_overhead,
+    trigger_table_cost,
+)
+
+
+class TestPaperAnchors:
+    def test_memory_plane_matches_paper_totals(self):
+        cost = memory_control_plane_cost(table_entries=256, trigger_entries=64)
+        assert cost.total.lut_ff == 1526
+        assert cost.overhead_fraction == pytest.approx(0.101, abs=0.002)
+
+    def test_llc_plane_matches_paper_totals(self):
+        cost = llc_control_plane_cost(table_entries=256, trigger_entries=64)
+        assert cost.total.lut_ff == 2359
+        assert cost.overhead_fraction == pytest.approx(0.031, abs=0.002)
+
+    def test_table_storage_anchor(self):
+        assert table_pair_cost(256).lutram == 688
+
+    def test_queue_anchor(self):
+        queues = priority_queue_cost(queue_depth=16, priority_levels=2)
+        assert queues.lut == 324
+        assert queues.ff == 30
+
+    def test_tag_array_blockram_anchor(self):
+        extra, total = tag_array_blockram_overhead(dsid_bits=8)
+        assert (extra, total) == (6, 18)
+
+    def test_host_constants(self):
+        assert MIG_CONTROLLER_LUT_FF == 15178
+        assert LLC_CONTROLLER_LUT_FF == 75032
+
+
+class TestScaling:
+    def test_storage_scales_linearly_with_entries(self):
+        small = table_pair_cost(64).lutram
+        large = table_pair_cost(256).lutram
+        assert large == pytest.approx(4 * small, rel=0.02)
+
+    def test_trigger_logic_dominates_storage(self):
+        # The paper: triggers consume more logic than storage because of
+        # the comparators.
+        cost = trigger_table_cost(64)
+        assert cost.lut + cost.ff > 5 * cost.lutram
+
+    def test_monotone_in_entries(self):
+        totals = [
+            memory_control_plane_cost(table_entries=e).total.lut_ff
+            for e in (64, 128, 256)
+        ]
+        assert totals == sorted(totals)
+        luts = [table_pair_cost(e).lutram for e in (64, 128, 256)]
+        assert luts == sorted(luts)
+
+    def test_monotone_in_triggers(self):
+        totals = [trigger_table_cost(t).lut_ff for t in (16, 32, 64)]
+        assert totals == sorted(totals)
+
+    @given(st.integers(min_value=1, max_value=4096), st.integers(min_value=1, max_value=512))
+    def test_property_costs_positive_and_overhead_bounded(self, entries, triggers):
+        cost = memory_control_plane_cost(table_entries=entries, trigger_entries=triggers)
+        assert cost.total.lut_ff > 0
+        assert cost.total.lutram >= 0
+        # Even huge tables stay below the host controller's size envelope
+        # at realistic design points (sanity ceiling, not an anchor).
+        if entries <= 256 and triggers <= 64:
+            assert cost.overhead_fraction < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_control_plane_cost(table_entries=0)
+        with pytest.raises(ValueError):
+            llc_control_plane_cost(trigger_entries=0)
+        with pytest.raises(ValueError):
+            tag_array_blockram_overhead(dsid_bits=0)
+
+
+class TestResourceEstimate:
+    def test_addition(self):
+        a = ResourceEstimate(lut=1, lutram=2, ff=3)
+        b = ResourceEstimate(lut=10, lutram=20, ff=30)
+        total = a + b
+        assert (total.lut, total.lutram, total.ff) == (11, 22, 33)
+
+    def test_cost_total_sums_components(self):
+        cost = ControlPlaneCost(
+            name="x",
+            components={
+                "a": ResourceEstimate(lut=5),
+                "b": ResourceEstimate(ff=7),
+            },
+            host_lut_ff=100,
+        )
+        assert cost.total.lut_ff == 12
+        assert cost.overhead_fraction == pytest.approx(0.12)

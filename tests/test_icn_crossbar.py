@@ -1,0 +1,96 @@
+"""Unit tests for the ICN crossbar."""
+
+import pytest
+
+from tests.helpers import FakeMemory
+from repro.icn.crossbar import Crossbar, CrossbarControlPlane
+from repro.sim.engine import Engine
+from repro.sim.packet import MemoryPacket
+
+
+def make_crossbar(control=None, traversal=2_000, bw=0.064):
+    engine = Engine()
+    memory = FakeMemory(engine, latency_ps=1_000)
+    xbar = Crossbar(engine, memory, traversal_ps=traversal, bytes_per_ps=bw,
+                    control=control)
+    return engine, memory, xbar
+
+
+def send(engine, xbar, ds_id=0, size=64):
+    done = []
+    start = engine.now
+    pkt = MemoryPacket(ds_id=ds_id, addr=0, size=size)
+    xbar.handle_request(pkt, lambda p: done.append(engine.now - start))
+    engine.run()
+    return done[0]
+
+
+class TestCrossbar:
+    def test_traversal_plus_serialization_latency(self):
+        engine, memory, xbar = make_crossbar(traversal=2_000, bw=0.064)
+        latency = send(engine, xbar, size=64)
+        serialization = int(64 / 0.064)
+        assert latency == 2_000 + serialization + 1_000  # + memory
+
+    def test_packets_reach_downstream_tagged(self):
+        engine, memory, xbar = make_crossbar()
+        send(engine, xbar, ds_id=5)
+        assert memory.requests[0].ds_id == 5
+        assert xbar.forwarded == 1
+
+    def test_link_serializes_concurrent_packets(self):
+        engine, memory, xbar = make_crossbar()
+        done = []
+        for _ in range(3):
+            xbar.handle_request(MemoryPacket(addr=0, size=64),
+                                lambda p: done.append(engine.now))
+        engine.run()
+        assert len(done) == 3
+        assert done[0] < done[1] < done[2]
+
+    def test_bandwidth_shares_follow_weights(self):
+        engine = Engine()
+        control = CrossbarControlPlane(engine)
+        control.allocate_ldom(1, share=75)
+        control.allocate_ldom(2, share=25)
+        memory = FakeMemory(engine, latency_ps=100)
+        xbar = Crossbar(engine, memory, traversal_ps=0, bytes_per_ps=0.001,
+                        control=control)
+        for i in range(200):
+            xbar.handle_request(MemoryPacket(ds_id=1, addr=i * 64, size=64), lambda p: None)
+            xbar.handle_request(MemoryPacket(ds_id=2, addr=i * 64, size=64), lambda p: None)
+        engine.run(until_ps=4_000_000)
+        control.roll_window()
+        served1 = control.statistics.get(1, "flits")
+        served2 = control.statistics.get(2, "flits")
+        assert served1 / max(served2, 1) == pytest.approx(3.0, rel=0.3)
+
+    def test_statistics_recorded(self):
+        engine = Engine()
+        control = CrossbarControlPlane(engine)
+        control.allocate_ldom(1)
+        memory = FakeMemory(engine, latency_ps=100)
+        xbar = Crossbar(engine, memory, control=control)
+        xbar.handle_request(MemoryPacket(ds_id=1, addr=0, size=64), lambda p: None)
+        engine.run()
+        control.roll_window()
+        assert control.statistics.get(1, "flits") == 1
+        assert control.statistics.get(1, "bytes") == 64
+
+    def test_small_packets_rounded_to_flit(self):
+        engine = Engine()
+        control = CrossbarControlPlane(engine)
+        control.allocate_ldom(1)
+        memory = FakeMemory(engine, latency_ps=100)
+        xbar = Crossbar(engine, memory, control=control, flit_bytes=16)
+        xbar.handle_request(MemoryPacket(ds_id=1, addr=0, size=4), lambda p: None)
+        engine.run()
+        control.roll_window()
+        assert control.statistics.get(1, "bytes") == 16
+
+    def test_validation(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            Crossbar(engine, FakeMemory(engine), traversal_ps=-1)
+        with pytest.raises(ValueError):
+            Crossbar(engine, FakeMemory(engine), bytes_per_ps=0)

@@ -1,0 +1,211 @@
+"""Unit tests for the IDE controller, I/O bridge and multi-queue NIC."""
+
+import pytest
+
+from tests.helpers import FakeMemory
+from repro.io.bridge import ALL_DEVICES_MASK, IoAccessError, IoBridge, IoBridgeControlPlane
+from repro.io.disk import IdeControlPlane, IdeController
+from repro.io.nic import MultiQueueNic, NicControlPlane
+from repro.sim.engine import Engine, PS_PER_S
+from repro.sim.packet import IoOp, IoPacket
+
+
+def make_ide(engine=None, control=True, bw=100 * 1024 * 1024, chunk=64 * 1024):
+    engine = engine or Engine()
+    plane = IdeControlPlane(engine) if control else None
+    ide = IdeController(
+        engine, control=plane, total_bandwidth_bytes_per_s=bw, chunk_bytes=chunk
+    )
+    return engine, ide, plane
+
+
+def write_blocks(engine, ide, ds_id, nbytes, count=1):
+    done = []
+    def issue(_=None):
+        if len(done) < count:
+            pkt = IoPacket(ds_id=ds_id, device="ide0", op=IoOp.PIO_WRITE, value=nbytes)
+            ide.handle_request(pkt, lambda p: (done.append(engine.now), issue()))
+    issue()
+    return done
+
+
+class TestIdeController:
+    def test_single_transfer_takes_bandwidth_time(self):
+        engine, ide, _ = make_ide(bw=100 * 1024 * 1024)
+        done = write_blocks(engine, ide, ds_id=1, nbytes=10 * 1024 * 1024)
+        engine.run()
+        assert len(done) == 1
+        expected_ps = 10 * 1024 * 1024 * PS_PER_S / (100 * 1024 * 1024)
+        assert done[0] == pytest.approx(expected_ps, rel=0.01)
+
+    def test_equal_share_without_quota(self):
+        engine, ide, plane = make_ide()
+        plane.allocate_ldom(1)
+        plane.allocate_ldom(2)
+        write_blocks(engine, ide, 1, 4 << 20, count=50)
+        write_blocks(engine, ide, 2, 4 << 20, count=50)
+        engine.run(until_ps=PS_PER_S // 2)
+        plane.roll_window()
+        bw1 = plane.last_window_bandwidth_bytes(1)
+        bw2 = plane.last_window_bandwidth_bytes(2)
+        assert bw1 > 0 and bw2 > 0
+        assert bw1 / bw2 == pytest.approx(1.0, rel=0.15)
+
+    def test_quota_shifts_share_to_80_20(self):
+        # Fig. 10: echo 80 > .../ldom0/parameters/bandwidth
+        engine, ide, plane = make_ide()
+        plane.allocate_ldom(1, bandwidth=80)
+        plane.allocate_ldom(2, bandwidth=20)
+        write_blocks(engine, ide, 1, 4 << 20, count=100)
+        write_blocks(engine, ide, 2, 4 << 20, count=100)
+        engine.run(until_ps=PS_PER_S // 2)
+        plane.roll_window()
+        bw1 = plane.last_window_bandwidth_bytes(1)
+        bw2 = plane.last_window_bandwidth_bytes(2)
+        assert bw1 / bw2 == pytest.approx(4.0, rel=0.25)
+
+    def test_explicit_quota_vs_default_share(self):
+        engine, ide, plane = make_ide()
+        plane.allocate_ldom(1, bandwidth=80)
+        plane.allocate_ldom(2)  # default: gets the remaining 20
+        assert plane.weight(1) == 80
+        assert plane.weight(2) == pytest.approx(20.0)
+
+    def test_idle_ldom_leaves_bandwidth_to_active(self):
+        engine, ide, plane = make_ide()
+        plane.allocate_ldom(1, bandwidth=20)
+        plane.allocate_ldom(2, bandwidth=80)
+        # Only LDom1 is writing; it should get the whole disk.
+        done = write_blocks(engine, ide, 1, 8 << 20, count=1)
+        engine.run()
+        expected_ps = (8 << 20) * PS_PER_S / (100 * 1024 * 1024)
+        assert done[0] == pytest.approx(expected_ps, rel=0.05)
+
+    def test_dma_memory_traffic_tagged(self):
+        engine = Engine()
+        memory = FakeMemory(engine, latency_ps=100)
+        plane = IdeControlPlane(engine)
+        plane.allocate_ldom(3)
+        ide = IdeController(engine, control=plane, memory=memory, chunk_bytes=64 * 1024)
+        write_blocks(engine, ide, 3, 128 * 1024)
+        engine.run()
+        assert memory.requests
+        assert all(p.ds_id == 3 for p in memory.requests)
+
+    def test_invalid_transfer_size(self):
+        engine, ide, _ = make_ide()
+        with pytest.raises(ValueError):
+            ide.handle_request(IoPacket(device="ide0", value=0), lambda p: None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdeController(Engine(), total_bandwidth_bytes_per_s=0)
+
+
+class TestIoBridge:
+    def make_bridge(self):
+        engine = Engine()
+        plane = IoBridgeControlPlane(engine)
+        bridge = IoBridge(engine, control=plane)
+        _, ide, _ = make_ide(engine)
+        index = bridge.attach_device("ide0", ide)
+        return engine, bridge, plane, index
+
+    def test_routes_to_device(self):
+        engine, bridge, plane, _ = self.make_bridge()
+        done = []
+        pkt = IoPacket(ds_id=0, device="ide0", op=IoOp.PIO_WRITE, value=64 * 1024)
+        bridge.handle_request(pkt, lambda p: done.append(p))
+        engine.run()
+        assert done
+
+    def test_access_mask_denies(self):
+        engine, bridge, plane, index = self.make_bridge()
+        plane.allocate_ldom(5, devmask=0)  # no devices
+        pkt = IoPacket(ds_id=5, device="ide0", op=IoOp.PIO_WRITE, value=1024)
+        with pytest.raises(IoAccessError):
+            bridge.handle_request(pkt, lambda p: None)
+        plane.roll_window()
+        assert plane.statistics.get(5, "denied_cnt") == 1
+
+    def test_mask_grants_specific_device(self):
+        engine, bridge, plane, index = self.make_bridge()
+        plane.allocate_ldom(5, devmask=1 << index)
+        pkt = IoPacket(ds_id=5, device="ide0", op=IoOp.PIO_WRITE, value=1024)
+        bridge.handle_request(pkt, lambda p: None)  # no exception
+        plane.roll_window()
+        assert plane.statistics.get(5, "pio_cnt") == 1
+
+    def test_unknown_device(self):
+        engine, bridge, _, _ = self.make_bridge()
+        with pytest.raises(KeyError):
+            bridge.handle_request(IoPacket(device="nope"), lambda p: None)
+
+    def test_duplicate_device_rejected(self):
+        engine, bridge, _, _ = self.make_bridge()
+        with pytest.raises(ValueError):
+            bridge.attach_device("ide0", object())
+
+    def test_default_mask_allows_everything(self):
+        engine, bridge, plane, _ = self.make_bridge()
+        assert plane.devmask(42) == ALL_DEVICES_MASK
+
+
+class TestMultiQueueNic:
+    def make_nic(self):
+        engine = Engine()
+        memory = FakeMemory(engine, latency_ps=100)
+        plane = NicControlPlane(engine)
+        nic = MultiQueueNic(engine, memory=memory, control=plane)
+        return engine, memory, plane, nic
+
+    def test_mac_demux_tags_rx_dma(self):
+        engine, memory, plane, nic = self.make_nic()
+        plane.allocate_ldom(1)
+        plane.allocate_ldom(2)
+        nic.add_vnic("aa:01", ds_id=1)
+        nic.add_vnic("aa:02", ds_id=2)
+        nic.receive_frame("aa:01", 1500)
+        nic.receive_frame("aa:02", 1500)
+        engine.run()
+        tags = [p.ds_id for p in memory.requests]
+        assert 1 in tags and 2 in tags
+
+    def test_unknown_mac_dropped(self):
+        engine, memory, plane, nic = self.make_nic()
+        assert nic.receive_frame("de:ad", 1500) is False
+        assert nic.rx_dropped == 1
+        engine.run()
+        assert memory.requests == []
+
+    def test_duplicate_mac_rejected(self):
+        _, _, _, nic = self.make_nic()
+        nic.add_vnic("aa:01", 1)
+        with pytest.raises(ValueError):
+            nic.add_vnic("aa:01", 2)
+
+    def test_tx_serialized_on_wire(self):
+        engine, memory, plane, nic = self.make_nic()
+        plane.allocate_ldom(1)
+        sent = []
+        nic.send(1, 125_000_000, on_sent=lambda: sent.append(engine.now))  # ~0.1s at 10GbE
+        nic.send(1, 125_000_000, on_sent=lambda: sent.append(engine.now))
+        engine.run()
+        assert len(sent) == 2
+        assert sent[1] == pytest.approx(2 * sent[0], rel=0.01)
+
+    def test_traffic_statistics(self):
+        engine, memory, plane, nic = self.make_nic()
+        plane.allocate_ldom(1)
+        nic.add_vnic("aa:01", 1)
+        nic.receive_frame("aa:01", 1000)
+        nic.send(1, 500)
+        engine.run()
+        plane.roll_window()
+        assert plane.statistics.get(1, "rx_bytes") == 1000
+        assert plane.statistics.get(1, "tx_bytes") == 500
+
+    def test_send_validation(self):
+        _, _, _, nic = self.make_nic()
+        with pytest.raises(ValueError):
+            nic.send(1, 0)

@@ -1,0 +1,271 @@
+"""Unit and integration tests for the PRM firmware."""
+
+import pytest
+
+from tests.helpers import FakeMemory
+from repro.cache.control_plane import LlcControlPlane
+from repro.core.ldom import LDomState
+from repro.core.triggers import TriggerOp
+from repro.cpu.core import CpuCore
+from repro.dram.control_plane import MemoryControlPlane
+from repro.io.apic import Apic
+from repro.io.disk import IdeControlPlane
+from repro.prm.firmware import Firmware, FirmwareError, HardwareInventory
+from repro.prm.rules import (
+    chain_actions,
+    increase_waymask_action,
+    log_action,
+    raise_priority_action,
+    set_parameter_action,
+    update_mask,
+)
+from repro.sim.clock import ClockDomain, CPU_CLOCK_PS
+from repro.sim.engine import Engine, PS_PER_MS
+
+
+def make_firmware(num_cores=4, with_apic=True):
+    engine = Engine()
+    clock = ClockDomain(engine, CPU_CLOCK_PS)
+    memory = FakeMemory(engine)
+    cores = [CpuCore(engine, clock, i, memory) for i in range(num_cores)]
+    apic = Apic(engine) if with_apic else None
+    if apic:
+        for core in cores:
+            apic.register_core(core.core_id, lambda pkt, c=core: c.wake())
+    planes = [
+        LlcControlPlane(engine),
+        MemoryControlPlane(engine),
+        IdeControlPlane(engine),
+    ]
+    inventory = HardwareInventory(
+        control_planes=planes, cores=cores, apic=apic,
+        memory_capacity_bytes=1 << 30,
+    )
+    firmware = Firmware(engine, inventory)
+    return engine, firmware, planes, cores, apic
+
+
+class TestSysfsLayout:
+    def test_cpa_nodes_mounted(self):
+        _, firmware, _, _, _ = make_firmware()
+        assert firmware.ls("/sys/cpa") == ["cpa0", "cpa1", "cpa2"]
+        assert firmware.cat("/sys/cpa/cpa0/ident") == "CACHE_CP"
+        assert firmware.cat("/sys/cpa/cpa1/ident") == "MEMORY_CP"
+        assert "'C'" in firmware.cat("/sys/cpa/cpa0/type")
+
+    def test_ldom_subtree_created(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("web", core_ids=(0,), memory_bytes=1 << 20)
+        base = "/sys/cpa/cpa0/ldoms/ldom1"
+        assert firmware.ls(f"{base}") == ["parameters", "statistics", "triggers"]
+        assert "waymask" in firmware.ls(f"{base}/parameters")
+        assert "miss_rate" in firmware.ls(f"{base}/statistics")
+
+
+class TestLDomLifecycle:
+    def test_create_programs_all_planes(self):
+        _, firmware, (cache, mem, ide), cores, _ = make_firmware()
+        ldom = firmware.create_ldom(
+            "web", core_ids=(0, 1), memory_bytes=1 << 20,
+            priority=1, disk_share=80, waymask=0xFF00,
+        )
+        assert ldom.ds_id == 1
+        assert cache.parameters.get(1, "waymask") == 0xFF00
+        assert mem.parameters.get(1, "addr_base") == 0
+        assert mem.parameters.get(1, "addr_size") == 1 << 20
+        assert mem.parameters.get(1, "priority") == 1
+        assert ide.parameters.get(1, "bandwidth") == 80
+        assert cores[0].tag.ds_id == 1
+        assert cores[1].tag.ds_id == 1
+
+    def test_memory_windows_do_not_overlap(self):
+        _, firmware, (_, mem, _), _, _ = make_firmware()
+        a = firmware.create_ldom("a", (0,), 1 << 20)
+        b = firmware.create_ldom("b", (1,), 1 << 20)
+        assert mem.translate(a.ds_id, 0) != mem.translate(b.ds_id, 0)
+        assert mem.mapping(a.ds_id).overlaps(mem.mapping(b.ds_id)) is False
+
+    def test_apic_routes_programmed(self):
+        _, firmware, _, _, apic = make_firmware()
+        ldom = firmware.create_ldom("a", (2,), 1 << 20)
+        assert apic.route_of(ldom.ds_id, 14) == 2
+
+    def test_out_of_memory(self):
+        _, firmware, _, _, _ = make_firmware()
+        with pytest.raises(FirmwareError):
+            firmware.create_ldom("big", (0,), 2 << 30)
+
+    def test_core_double_assignment_rejected(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        with pytest.raises(FirmwareError):
+            firmware.create_ldom("b", (0,), 1 << 20)
+
+    def test_duplicate_name_rejected(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        with pytest.raises(FirmwareError):
+            firmware.create_ldom("a", (1,), 1 << 20)
+
+    def test_launch_runs_workloads(self):
+        engine, firmware, _, cores, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+
+        class Tiny:
+            def bind(self, core): pass
+            def ops(self):
+                yield ("compute", 100)
+
+        ldom = firmware.launch_ldom("a", {0: Tiny()})
+        assert ldom.state is LDomState.RUNNING
+        engine.run()
+        assert cores[0].busy_ps == 100 * CPU_CLOCK_PS
+
+    def test_launch_on_foreign_core_rejected(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        with pytest.raises(FirmwareError):
+            firmware.launch_ldom("a", {3: object()})
+
+    def test_destroy_cleans_up(self):
+        _, firmware, (cache, mem, ide), cores, apic = make_firmware()
+        ldom = firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.destroy_ldom("a")
+        assert not cache.parameters.has(ldom.ds_id)
+        assert cores[0].tag.ds_id == 0
+        assert apic.route_of(ldom.ds_id, 14) is None
+        assert not firmware.sysfs.exists("/sys/cpa/cpa0/ldoms/ldom1")
+        assert firmware.ldom_by_dsid(ldom.ds_id) is None
+
+
+class TestShell:
+    def test_echo_waymask_like_fig7(self):
+        _, firmware, (cache, _, _), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.sh("echo 0xFF00 > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+        assert cache.parameters.get(1, "waymask") == 0xFF00
+
+    def test_cat_parameter(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        out = firmware.sh("cat /sys/cpa/cpa1/ldoms/ldom1/parameters/addr_size")
+        assert int(out) == 1 << 20
+
+    def test_ls(self):
+        _, firmware, _, _, _ = make_firmware()
+        out = firmware.sh("ls /sys/cpa")
+        assert out.splitlines() == ["cpa0", "cpa1", "cpa2"]
+
+    def test_pardtrigger_installs_rule(self):
+        # Example 1 of Fig. 6.
+        _, firmware, (cache, _, _), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.sh(
+            "pardtrigger /dev/cpa0 -ldom=1 -action=0 -stats=miss_rate -cond=gt,30"
+        )
+        rule = cache.triggers.rule_at(1, 0)
+        assert rule is not None
+        assert rule.op is TriggerOp.GT
+        assert rule.threshold == 3000  # 30% in basis points
+
+    def test_unknown_command(self):
+        _, firmware, _, _, _ = make_firmware()
+        with pytest.raises(FirmwareError):
+            firmware.sh("rm -rf /")
+
+    def test_bad_number(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        with pytest.raises(FirmwareError):
+            firmware.sh("echo banana > /sys/cpa/cpa0/ldoms/ldom1/parameters/waymask")
+
+
+class TestTriggerActionPath:
+    def test_end_to_end_trigger_reaction(self):
+        """The paper's Fig. 9 mechanism: miss rate > 30% => bigger waymask."""
+        engine, firmware, (cache, _, _), _, _ = make_firmware()
+        firmware.create_ldom("mc", (0,), 1 << 20, waymask=0x000F)
+        firmware.register_script("/cpa0_ldom1_t0.sh", increase_waymask_action(num_ways=16))
+        firmware.install_trigger(
+            "cpa0", 1, "miss_rate", "gt,30", action_id=0,
+            script_path="/cpa0_ldom1_t0.sh",
+        )
+        # Simulate a hot window: many misses for DS-id 1.
+        for _ in range(70):
+            cache.record_access(1, hit=False)
+        for _ in range(30):
+            cache.record_access(1, hit=True)
+        cache.roll_window()
+        # The script runs only after the firmware reaction latency.
+        assert cache.parameters.get(1, "waymask") == 0x000F
+        engine.run()
+        new_mask = cache.parameters.get(1, "waymask")
+        assert bin(new_mask).count("1") > 4
+        assert firmware.trigger_log
+
+    def test_trigger_without_binding_only_logs(self):
+        engine, firmware, (cache, _, _), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.install_trigger("cpa0", 1, "miss_rate", "gt,0", action_id=0)
+        cache.record_access(1, hit=False)
+        cache.roll_window()
+        engine.run()
+        assert len(firmware.trigger_log) == 1
+
+    def test_binding_unregistered_script_rejected(self):
+        _, firmware, _, _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.install_trigger("cpa0", 1, "miss_rate", "gt,30")
+        with pytest.raises(FirmwareError):
+            firmware.sh("echo /nope.sh > /sys/cpa/cpa0/ldoms/ldom1/triggers/0")
+
+    def test_chained_log_and_react(self):
+        engine, firmware, (cache, _, _), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20, waymask=0x0003)
+        script = chain_actions(log_action(), increase_waymask_action(16))
+        firmware.register_script("/t.sh", script)
+        firmware.install_trigger("cpa0", 1, "miss_rate", "gt,10", script_path="/t.sh")
+        for _ in range(10):
+            cache.record_access(1, hit=False)
+        cache.roll_window()
+        engine.run()
+        assert "trigger" in firmware.cat("/log/triggers.log")
+
+    def test_priority_action(self):
+        engine, firmware, (_, mem, _), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20, priority=0)
+        firmware.register_script("/p.sh", raise_priority_action(1))
+        firmware.install_trigger("cpa1", 1, "avg_qlat", "gt,10", script_path="/p.sh")
+        mem.record_service(1, 64, queue_delay_cycles=50.0, total_cycles=60.0)
+        mem.roll_window()
+        engine.run()
+        assert mem.parameters.get(1, "priority") == 1
+
+    def test_set_parameter_action(self):
+        engine, firmware, (_, _, ide), _, _ = make_firmware()
+        firmware.create_ldom("a", (0,), 1 << 20)
+        firmware.register_script("/s.sh", set_parameter_action("bandwidth", 80))
+        firmware.install_trigger("cpa2", 1, "bandwidth", "ge,0", script_path="/s.sh")
+        ide.roll_window()
+        engine.run()
+        assert ide.parameters.get(1, "bandwidth") == 80
+
+
+class TestUpdateMaskPolicy:
+    def test_grows_toward_cap(self):
+        mask = update_mask(0x0003, 5000, 16, 0.5)
+        assert bin(mask).count("1") == 4
+        mask = update_mask(mask, 5000, 16, 0.5)
+        assert bin(mask).count("1") == 8
+
+    def test_capped_at_max_share(self):
+        mask = update_mask(0xFF00, 5000, 16, 0.5)
+        assert mask == 0xFF00  # already at 50%
+
+    def test_mask_anchored_high(self):
+        mask = update_mask(0x0001, 5000, 16, 0.5)
+        assert mask & (1 << 15)
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            update_mask(1, 0, 16, 0)

@@ -1,0 +1,93 @@
+"""Unit tests for the firmware statistics monitor."""
+
+import pytest
+
+from repro.prm.monitor import StatisticsMonitor
+from repro.sim.engine import PS_PER_MS
+from repro.system.config import TABLE2
+from repro.system.server import PardServer
+from repro.workloads.stream import Stream
+
+
+def make_monitored_server():
+    server = PardServer(TABLE2.scaled(32))
+    fw = server.firmware
+    ldom = fw.create_ldom("a", (0,), 4 << 20)
+    server.start()
+    fw.launch_ldom("a", {0: Stream(array_bytes=128 << 10)})
+    monitor = StatisticsMonitor(fw, period_ps=PS_PER_MS)
+    return server, fw, ldom, monitor
+
+
+class TestStatisticsMonitor:
+    def test_probe_validates_path_up_front(self):
+        _, fw, ldom, monitor = make_monitored_server()
+        with pytest.raises(Exception):
+            monitor.add_probe("bad", "/sys/cpa/cpa0/ldoms/ldom9/statistics/miss_rate")
+
+    def test_periodic_sampling(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        series = monitor.add_probe(
+            "missrate", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/miss_rate"
+        )
+        monitor.start()
+        server.run_ms(4.5)
+        assert len(series.values) == 4  # ticks at 1,2,3,4 ms
+        assert series.times_ps == [PS_PER_MS * i for i in (1, 2, 3, 4)]
+
+    def test_values_track_hardware(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        series = monitor.add_probe(
+            "capacity", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/capacity"
+        )
+        monitor.start()
+        server.run_ms(3.5)
+        assert series.latest() > 0
+        assert series.latest() == server.llc_control.occupancy_bytes(ldom.ds_id)
+
+    def test_stop_halts_sampling(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        series = monitor.add_probe(
+            "missrate", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/miss_rate"
+        )
+        monitor.start()
+        server.run_ms(2.5)
+        monitor.stop()
+        server.run_ms(3.0)
+        assert len(series.values) == 2
+
+    def test_destroyed_ldom_counts_read_errors(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        monitor.add_probe(
+            "missrate", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/miss_rate"
+        )
+        monitor.start()
+        server.run_ms(1.5)
+        ldom.stop()
+        fw.destroy_ldom("a")
+        server.run_ms(2.0)
+        assert monitor.read_errors >= 1
+
+    def test_duplicate_probe_rejected(self):
+        _, fw, ldom, monitor = make_monitored_server()
+        path = f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/miss_rate"
+        monitor.add_probe("x", path)
+        with pytest.raises(ValueError):
+            monitor.add_probe("x", path)
+
+    def test_report_and_rows(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        series = monitor.add_probe(
+            "capacity", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/capacity"
+        )
+        monitor.start()
+        server.run_ms(2.5)
+        report = monitor.report()
+        assert "capacity" in report and "2 samples" in report
+        rows = series.as_rows()
+        assert rows[0][0] == pytest.approx(1.0)
+
+    def test_invalid_period(self):
+        _, fw, _, _ = make_monitored_server()
+        with pytest.raises(ValueError):
+            StatisticsMonitor(fw, period_ps=0)

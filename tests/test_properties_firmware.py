@@ -1,0 +1,84 @@
+"""Property-based invariants of firmware LDom management."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import FakeMemory
+from repro.cache.control_plane import LlcControlPlane
+from repro.cpu.core import CpuCore
+from repro.dram.control_plane import MemoryControlPlane
+from repro.prm.firmware import Firmware, FirmwareError, HardwareInventory
+from repro.sim.clock import ClockDomain, CPU_CLOCK_PS
+from repro.sim.engine import Engine
+
+# An action sequence: create (core set, size index) or destroy (index of
+# live LDom modulo the live count).
+ACTION = st.one_of(
+    st.tuples(st.just("create"),
+              st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=2),
+              st.integers(min_value=1, max_value=4)),
+    st.tuples(st.just("destroy"), st.integers(min_value=0, max_value=10)),
+)
+
+
+def make_firmware():
+    engine = Engine()
+    clock = ClockDomain(engine, CPU_CLOCK_PS)
+    memory = FakeMemory(engine)
+    cores = [CpuCore(engine, clock, i, memory) for i in range(4)]
+    planes = [LlcControlPlane(engine), MemoryControlPlane(engine)]
+    inventory = HardwareInventory(
+        control_planes=planes, cores=cores,
+        memory_capacity_bytes=64 << 20,
+    )
+    return Firmware(engine, inventory), planes, cores
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(ACTION, min_size=1, max_size=25))
+def test_ldom_management_invariants(actions):
+    """Under any create/destroy sequence, the firmware keeps:
+
+    - DS-ids unique among live LDoms;
+    - every core owned by at most one live LDom;
+    - live memory windows pairwise disjoint;
+    - control-plane rows and sysfs subtrees exactly for live DS-ids.
+    """
+    firmware, planes, cores = make_firmware()
+    counter = 0
+    for action in actions:
+        if action[0] == "create":
+            _, core_set, size_mb = action
+            counter += 1
+            try:
+                firmware.create_ldom(
+                    f"ldom-{counter}", tuple(sorted(core_set)), size_mb << 20
+                )
+            except FirmwareError:
+                pass  # core conflict or out of memory: both legal refusals
+        else:
+            _, index = action
+            names = sorted(firmware.ldoms)
+            if names:
+                firmware.destroy_ldom(names[index % len(names)])
+
+    live = list(firmware.ldoms.values())
+    ds_ids = [ldom.ds_id for ldom in live]
+    assert len(ds_ids) == len(set(ds_ids))
+
+    owned_cores = [c for ldom in live for c in ldom.core_ids]
+    assert len(owned_cores) == len(set(owned_cores))
+
+    for i, first in enumerate(live):
+        for second in live[i + 1:]:
+            assert not first.memory.overlaps(second.memory)
+
+    for plane in planes:
+        assert sorted(plane.parameters.ds_ids) == sorted(ds_ids)
+    for adaptor_name in firmware.ls("/sys/cpa"):
+        nodes = firmware.ls(f"/sys/cpa/{adaptor_name}/ldoms")
+        assert sorted(nodes) == sorted(f"ldom{d}" for d in ds_ids)
+
+    # Cores of destroyed LDoms were retagged to the default domain.
+    for core in cores:
+        if core.core_id not in owned_cores:
+            assert core.tag.ds_id == 0

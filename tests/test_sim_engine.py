@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError, PS_PER_MS
+
+
+def test_initial_time_is_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_single_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(100, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [100]
+    assert engine.now == 100
+
+
+def test_events_run_in_timestamp_order():
+    engine = Engine()
+    order = []
+    engine.schedule(300, lambda: order.append("c"))
+    engine.schedule(100, lambda: order.append("a"))
+    engine.schedule(200, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    engine = Engine()
+    order = []
+    engine.schedule(50, lambda: order.append(1))
+    engine.schedule(50, lambda: order.append(2))
+    engine.schedule(50, lambda: order.append(3))
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(50, lambda: None)
+
+
+def test_run_until_executes_events_at_boundary():
+    engine = Engine()
+    fired = []
+    engine.schedule(100, lambda: fired.append(100))
+    engine.schedule(200, lambda: fired.append(200))
+    engine.schedule(201, lambda: fired.append(201))
+    engine.run(until_ps=200)
+    assert fired == [100, 200]
+    assert engine.now == 200
+
+
+def test_run_until_advances_time_even_if_queue_drains():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run(until_ps=500)
+    assert engine.now == 500
+
+
+def test_run_for_is_relative():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    engine.run(until_ps=100)
+    engine.run_for(50)
+    assert engine.now == 150
+
+
+def test_events_scheduled_from_callbacks():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append(("first", engine.now))
+        engine.schedule(25, second)
+
+    def second():
+        fired.append(("second", engine.now))
+
+    engine.schedule(10, first)
+    engine.run()
+    assert fired == [("first", 10), ("second", 35)]
+
+
+def test_cancel_prevents_execution():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(10, lambda: fired.append("x"))
+    handle.cancel()
+    engine.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    handle = engine.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_stop_halts_run_loop():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(1))
+    engine.schedule(20, engine.stop)
+    engine.schedule(30, lambda: fired.append(3))
+    engine.run()
+    assert fired == [1]
+    # The remaining event is still queued and runs on the next run().
+    engine.run()
+    assert fired == [1, 3]
+
+
+def test_run_is_not_reentrant():
+    engine = Engine()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1, nested)
+    engine.run()
+
+
+def test_pending_events_ignores_cancelled():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    handle = engine.schedule(20, lambda: None)
+    handle.cancel()
+    assert engine.pending_events == 1
+
+
+def test_returns_executed_count():
+    engine = Engine()
+    for delay in (1, 2, 3):
+        engine.schedule(delay, lambda: None)
+    assert engine.run() == 3
+
+
+def test_time_unit_properties():
+    engine = Engine()
+    engine.schedule(2 * PS_PER_MS, lambda: None)
+    engine.run()
+    assert engine.now_ms == pytest.approx(2.0)
+    assert engine.now_us == pytest.approx(2000.0)
+    assert engine.now_ns == pytest.approx(2_000_000.0)
+
+
+def test_drain_runs_immediate_callbacks():
+    engine = Engine()
+    fired = []
+    engine.drain([lambda: fired.append("a"), lambda: fired.append("b")])
+    assert fired == ["a", "b"]

@@ -1,0 +1,80 @@
+"""Tests for the optional server organizations (crossbar, multi-channel)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dram.multichannel import MultiChannelMemory
+from repro.icn.crossbar import Crossbar
+from repro.system.config import TABLE2, ServerConfig
+from repro.system.server import PardServer
+from repro.workloads.stream import Stream
+
+
+def run_stream_server(config):
+    server = PardServer(config)
+    fw = server.firmware
+    ldom = fw.create_ldom("a", (0,), 4 << 20)
+    server.start()
+    fw.launch_ldom("a", {0: Stream(array_bytes=256 << 10)})
+    server.run_ms(1.0)
+    return server, ldom
+
+
+class TestCrossbarVariant:
+    def test_crossbar_wired_between_l1_and_llc(self):
+        config = replace(TABLE2.scaled(32), icn_crossbar=True)
+        server = PardServer(config)
+        assert isinstance(server.crossbar, Crossbar)
+        assert all(l1.downstream is server.crossbar for l1 in server.l1s)
+        assert server.crossbar.downstream is server.llc
+
+    def test_default_has_no_crossbar(self):
+        server = PardServer(TABLE2.scaled(32))
+        assert server.crossbar is None
+        assert all(l1.downstream is server.llc for l1 in server.l1s)
+
+    def test_crossbar_server_runs_workloads(self):
+        config = replace(TABLE2.scaled(32), icn_crossbar=True)
+        server, ldom = run_stream_server(config)
+        assert server.crossbar.forwarded > 0
+        assert server.llc.occupancy_blocks(ldom.ds_id) > 0
+
+    def test_crossbar_adds_latency(self):
+        fast_server, _ = run_stream_server(TABLE2.scaled(32))
+        slow_config = replace(
+            TABLE2.scaled(32), icn_crossbar=True, crossbar_traversal_ps=10_000
+        )
+        slow_server, _ = run_stream_server(slow_config)
+        # Same wall-clock window: the crossbar hop slows the sweep down.
+        assert slow_server.cores[0].memory_accesses < fast_server.cores[0].memory_accesses
+
+
+class TestMultiChannelVariant:
+    def test_multichannel_wired(self):
+        config = replace(TABLE2.scaled(32), memory_channels=4)
+        server = PardServer(config)
+        assert isinstance(server.memory_controller, MultiChannelMemory)
+        assert len(server.memory_controller.controllers) == 4
+
+    def test_multichannel_server_serves_traffic(self):
+        config = replace(TABLE2.scaled(32), memory_channels=4)
+        server, ldom = run_stream_server(config)
+        memory = server.memory_controller
+        assert memory.served_requests > 0
+        busy_channels = sum(1 for load in memory.channel_loads() if load > 0)
+        assert busy_channels >= 2  # streaming spreads across channels
+
+    def test_multichannel_translation_and_stats(self):
+        config = replace(TABLE2.scaled(32), memory_channels=2)
+        server, ldom = run_stream_server(config)
+        # Per-DS-id accounting aggregates across channels in the single
+        # shared control plane.
+        served = server.memory_control.statistics.get(ldom.ds_id, "serv_cnt")
+        server.memory_control.roll_window()
+        served = server.memory_control.statistics.get(ldom.ds_id, "serv_cnt")
+        assert served == server.memory_controller.served_requests
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            ServerConfig(memory_channels=0)
