@@ -111,7 +111,7 @@ class Cache(Component):
 
     def handle_request(self, packet: MemoryPacket, on_response: ResponseCallback) -> None:
         """Accept a tagged cache access; respond after the modeled latency."""
-        self.schedule_cycles(
+        self.post_cycles(
             self.config.hit_latency_cycles, lambda: self._lookup(packet, on_response)
         )
 
@@ -174,7 +174,7 @@ class Cache(Component):
             )
         except MshrFullError:
             # Structural stall: retry the lookup after a short back-off.
-            self.schedule_cycles(
+            self.post_cycles(
                 self.config.retry_cycles, lambda: self._lookup(packet, on_response)
             )
             return
@@ -191,7 +191,7 @@ class Cache(Component):
         fill_done = lambda _resp=None: self._on_fill(set_index, tag, line_addr, packet.ds_id)
         sync_latency = self.downstream.access(fill, fill_done)
         if sync_latency is not None:
-            self.schedule(sync_latency, fill_done)
+            self.post(sync_latency, fill_done)
 
     def _evict_victim(self, cache_set: _Set, set_index: int, line_addr: int, ds_id: int) -> None:
         """Select and evict the victim for an incoming fill.

@@ -221,11 +221,11 @@ class ControlPlane:
         if self._windows_started:
             return
         self._windows_started = True
-        self.engine.schedule(self.window_ps, self._window_tick)
+        self.engine.post(self.window_ps, self._window_tick)
 
     def _window_tick(self) -> None:
         self.roll_window()
-        self.engine.schedule(self.window_ps, self._window_tick)
+        self.engine.post(self.window_ps, self._window_tick)
 
     def roll_window(self) -> list[tuple[int, TriggerRule]]:
         """Publish derived statistics, then evaluate armed triggers."""

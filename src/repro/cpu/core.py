@@ -96,13 +96,13 @@ class CpuCore(Component):
         self._ops = iter(workload.ops())
         self.state = CoreState.RUNNING
         self._started_at_ps = self.now
-        self.schedule(0, self._step)
+        self.post(0, self._step)
 
     def wake(self) -> None:
         """Unblock a core parked on a ``("block",)`` op."""
         if self.state is CoreState.BLOCKED:
             self.state = CoreState.RUNNING
-            self.schedule(0, self._step)
+            self.post(0, self._step)
         else:
             self._wake_pending = True
 
@@ -125,7 +125,7 @@ class CpuCore(Component):
                 if acc_ps > 0:
                     # Materialize the remaining accumulated time so DONE is
                     # observed at the correct simulated instant.
-                    self.schedule(acc_ps, self._finish)
+                    self.post(acc_ps, self._finish)
                 else:
                     self.state = CoreState.DONE
                 return
@@ -134,7 +134,7 @@ class CpuCore(Component):
                 acc_ps += op[1] * self.clock.period_ps
                 if acc_ps >= self.flush_threshold_ps:
                     self.busy_ps += acc_ps
-                    self.schedule(acc_ps, self._step)
+                    self.post(acc_ps, self._step)
                     return
             elif kind == "load" or kind == "store":
                 done = self._issue_memory(op[1], kind == "store", acc_ps)

@@ -83,7 +83,7 @@ class MemoryController(Component):
         if control is not None:
             control.bind_controller(self)
         if enable_refresh:
-            self.engine.schedule(
+            self.engine.post(
                 self.timing.t_refi * clock.period_ps, self._refresh
             )
 
@@ -101,8 +101,8 @@ class MemoryController(Component):
                 bank.ready_at_ps = blocked_until
         self.refreshes_performed += 1
         self.tracer.emit(self.now, self.name, "refresh", f"until={blocked_until}")
-        self.engine.schedule(self.timing.t_refi * cycle_ps, self._refresh)
-        self.engine.schedule_at(blocked_until, self._pump)
+        self.engine.post(self.timing.t_refi * cycle_ps, self._refresh)
+        self.engine.post_at(blocked_until, self._pump)
 
     # -- request entry ------------------------------------------------------
 
@@ -191,7 +191,7 @@ class MemoryController(Component):
             f"qdelay={delay_cycles:.1f}cyc",
         )
         self._inflight += 1
-        self.engine.schedule_at(done_ps, lambda: self._complete(request, delay_cycles, done_ps))
+        self.engine.post_at(done_ps, lambda: self._complete(request, delay_cycles, done_ps))
 
     def _complete(self, request: PendingRequest, delay_cycles: float, done_ps: int) -> None:
         self._inflight -= 1
@@ -239,5 +239,7 @@ class MemoryController(Component):
 
     @property
     def mean_queue_delay_cycles(self) -> float:
-        total = [s for recorder in self.queue_delay for s in recorder.samples]
-        return sum(total) / len(total) if total else 0.0
+        count = sum(recorder.count for recorder in self.queue_delay)
+        if not count:
+            return 0.0
+        return sum(recorder.total for recorder in self.queue_delay) / count

@@ -95,11 +95,11 @@ class _SelectiveEngine(Component):
         )
         # The engine pays its latency, then forwards; the response path
         # pays it again (decompress / decrypt on the way back).
-        self.schedule(
+        self.post(
             self.latency_ps,
             lambda: self.downstream.handle_request(
                 transformed,
-                lambda _resp: self.schedule(self.latency_ps, lambda: on_response(packet)),
+                lambda _resp: self.post(self.latency_ps, lambda: on_response(packet)),
             ),
         )
 

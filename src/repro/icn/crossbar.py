@@ -107,7 +107,7 @@ class Crossbar(Component):
         total_ps = self.traversal_ps + serialization_ps
         if self.control is not None:
             self.control.record(ds_id, size)
-        self.schedule(total_ps, lambda: self._forward(packet, on_response))
+        self.post(total_ps, lambda: self._forward(packet, on_response))
 
     def _select(self) -> Optional[int]:
         """Deficit round robin over DS-ids, weighted by link shares.

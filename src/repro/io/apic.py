@@ -82,7 +82,7 @@ class Apic(Component):
             self.now, self.name, "interrupt_routed",
             f"dsid={packet.ds_id} vector={packet.vector} core={core_id}",
         )
-        self.schedule(DELIVERY_LATENCY_PS, lambda: self._deliver(handler, packet))
+        self.post(DELIVERY_LATENCY_PS, lambda: self._deliver(handler, packet))
 
     def _deliver(self, handler: InterruptHandler, packet: InterruptPacket) -> None:
         self.delivered += 1

@@ -95,6 +95,6 @@ class IoBridge(Component):
                 raise IoAccessError(
                     f"DS-id {packet.ds_id} denied access to {packet.device}"
                 )
-        self.schedule(
+        self.post(
             self.forward_latency_ps, lambda: device.handle_request(packet, on_response)
         )

@@ -143,7 +143,7 @@ class IdeController(Component):
             packet=packet,
             started_at_ps=self.now,
         )
-        self.schedule(self.pio_latency_ps, lambda: self._enqueue(transfer))
+        self.post(self.pio_latency_ps, lambda: self._enqueue(transfer))
 
     def _enqueue(self, transfer: _Transfer) -> None:
         queue = self._queues.get(transfer.ds_id)
@@ -168,7 +168,7 @@ class IdeController(Component):
         self._deficit[ds_id] -= chunk
         self._busy = True
         service_ps = int(chunk * PS_PER_S / self.total_bandwidth_bytes_per_s)
-        self.schedule(service_ps, lambda: self._chunk_done(transfer, chunk))
+        self.post(service_ps, lambda: self._chunk_done(transfer, chunk))
 
     def _select_dsid(self) -> Optional[int]:
         """Deficit round robin: each turn adds a weight-proportional

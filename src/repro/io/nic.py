@@ -140,7 +140,7 @@ class MultiQueueNic(Component):
         # Fetch the payload from the LDom's memory, then hold the wire.
         self.dma.transfer(nbytes, to_device=True, raise_interrupt=False, ds_id=ds_id)
         wire_ps = int(nbytes * PS_PER_S / self.wire_bandwidth_bytes_per_s)
-        self.schedule(max(1, wire_ps), lambda: self._tx_done(on_sent))
+        self.post(max(1, wire_ps), lambda: self._tx_done(on_sent))
 
     def _tx_done(self, on_sent: Optional[Callable[[], None]]) -> None:
         self._tx_busy = False

@@ -351,7 +351,7 @@ class Firmware:
             "ldom_path": f"/sys/cpa/{adaptor.name}/ldoms/ldom{ds_id}",
             "rule": rule,
         }
-        self.engine.schedule(
+        self.engine.post(
             self.reaction_latency_ps, lambda: self._run_script(script, context)
         )
 

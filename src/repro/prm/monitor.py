@@ -63,7 +63,7 @@ class StatisticsMonitor:
         if self._running:
             return
         self._running = True
-        self.engine.schedule(self.period_ps, self._tick)
+        self.engine.post(self.period_ps, self._tick)
 
     def stop(self) -> None:
         self._running = False
@@ -86,7 +86,7 @@ class StatisticsMonitor:
         if not self._running:
             return
         self.sample_now()
-        self.engine.schedule(self.period_ps, self._tick)
+        self.engine.post(self.period_ps, self._tick)
 
     def report(self) -> str:
         """A plain-text summary of the latest value of every probe."""

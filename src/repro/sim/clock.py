@@ -55,3 +55,10 @@ class ClockDomain:
         """Run ``callback`` ``cycles`` edges after the next aligned edge."""
         target = self.next_edge_ps() + self.cycles_to_ps(cycles)
         return self.engine.schedule_at(target, callback)
+
+    def post_cycles(self, cycles: int, callback: Callable[[], None]) -> None:
+        """Uncancellable :meth:`schedule_cycles`: edge-aligned work from
+        every component in this domain lands in the same engine bucket and
+        is dispatched in one queue operation."""
+        target = self.next_edge_ps() + self.cycles_to_ps(cycles)
+        self.engine.post_at(target, callback)

@@ -33,10 +33,20 @@ class Component:
     def schedule(self, delay_ps: int, callback: Callable[[], None]):
         return self.engine.schedule(delay_ps, callback)
 
+    def post(self, delay_ps: int, callback: Callable[[], None]) -> None:
+        """Uncancellable fast-path schedule (no handle allocation)."""
+        self.engine.post(delay_ps, callback)
+
     def schedule_cycles(self, cycles: int, callback: Callable[[], None]):
         if self.clock is None:
             raise RuntimeError(f"component {self.name} has no clock domain")
         return self.clock.schedule_cycles(cycles, callback)
+
+    def post_cycles(self, cycles: int, callback: Callable[[], None]) -> None:
+        """Uncancellable fast-path schedule aligned to this clock domain."""
+        if self.clock is None:
+            raise RuntimeError(f"component {self.name} has no clock domain")
+        self.clock.post_cycles(cycles, callback)
 
     def handle_request(self, packet: Packet, on_response: ResponseCallback) -> None:
         """Accept a request; call ``on_response`` when the reply is ready."""

@@ -1,13 +1,44 @@
 """Event-driven simulation engine.
 
-The engine keeps a priority queue of ``(time_ps, sequence, callback)``
-entries. Time is an integer number of picoseconds, which lets the CPU
-domain (500 ps per cycle at 2 GHz) and the DRAM domain (1250 ps per cycle
-at DDR3-1600's 800 MHz bus clock) coexist without rounding drift.
+Time is an integer number of picoseconds, which lets the CPU domain
+(500 ps per cycle at 2 GHz) and the DRAM domain (1250 ps per cycle at
+DDR3-1600's 800 MHz bus clock) coexist without rounding drift.
 
 Components never advance time themselves; they schedule callbacks and the
 engine invokes them in timestamp order. Ties are broken by scheduling
 order, which keeps runs fully deterministic.
+
+Two queue implementations share one API and one ordering contract:
+
+:class:`Engine` (the default)
+    A bucketed calendar queue. Events are grouped into per-timestamp
+    buckets (a dict keyed by time) and a small heap orders only the
+    *distinct* timestamps. Because hardware models align work to clock
+    edges, many events share a timestamp, so a whole clock edge's worth
+    of callbacks is dispatched with a single heap operation. Within a
+    bucket events run in scheduling order, which is exactly the
+    ``(time, sequence)`` order of the heap reference -- the two engines
+    produce byte-identical event orderings for the same schedule.
+
+:class:`HeapqEngine`
+    The reference implementation: one binary heap of ``(time, sequence)``
+    ordered events. Kept deliberately simple; property tests cross-check
+    the calendar queue against it.
+
+Both engines support two scheduling paths:
+
+``schedule()`` / ``schedule_at()``
+    Allocate an event record and return an :class:`EventHandle` that can
+    cancel the callback. Cancellation is O(1): a live-event counter is
+    decremented immediately and the dead record is dropped either when it
+    reaches the head of the queue or by a lazy purge when dead records
+    outnumber live ones.
+
+``post()`` / ``post_at()``
+    The allocation-free hot path: the bare callback is enqueued with no
+    event record and no handle. Use it for the vast majority of
+    schedules that are never cancelled (cache lookups, DRAM completions,
+    core steps, statistics windows).
 """
 
 from __future__ import annotations
@@ -20,21 +51,32 @@ PS_PER_US = 1_000_000
 PS_PER_MS = 1_000_000_000
 PS_PER_S = 1_000_000_000_000
 
+# Lazy-purge thresholds: rebuild the queue once at least this many
+# cancelled records linger *and* they outnumber the live entries.
+_PURGE_MIN_CANCELLED = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for violations of engine scheduling rules."""
 
 
 class _Event:
-    """A scheduled callback. Cancelled events stay in the heap but are skipped."""
+    """A cancellable scheduled callback.
 
-    __slots__ = ("time_ps", "seq", "callback", "cancelled")
+    ``seq`` orders ties in the heap engine; the calendar engine orders
+    ties by bucket append order and leaves ``seq`` at 0. ``done`` marks
+    an event that already executed, so a late ``cancel()`` on its handle
+    cannot corrupt the live-event counter.
+    """
+
+    __slots__ = ("time_ps", "seq", "callback", "cancelled", "done")
 
     def __init__(self, time_ps: int, seq: int, callback: Callable[[], None]):
         self.time_ps = time_ps
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.done = False
 
     def __lt__(self, other: "_Event") -> bool:
         if self.time_ps != other.time_ps:
@@ -45,14 +87,19 @@ class _Event:
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_engine", "_event")
 
-    def __init__(self, event: _Event):
+    def __init__(self, engine: "Engine", event: _Event):
+        self._engine = engine
         self._event = event
 
     def cancel(self) -> None:
-        """Prevent the callback from running. Safe to call more than once."""
-        self._event.cancelled = True
+        """Prevent the callback from running. Safe to call more than once,
+        and a no-op once the event has executed."""
+        event = self._event
+        if not event.cancelled and not event.done:
+            event.cancelled = True
+            self._engine._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -64,22 +111,36 @@ class EventHandle:
 
 
 class Engine:
-    """Deterministic discrete-event simulation engine.
+    """Deterministic discrete-event engine over a bucketed calendar queue.
 
     >>> engine = Engine()
     >>> fired = []
     >>> _ = engine.schedule(100, lambda: fired.append(engine.now))
     >>> engine.run()
+    1
     >>> fired
     [100]
     """
 
+    kind = "calendar"
+
     def __init__(self) -> None:
         self._now = 0
-        self._queue: list[_Event] = []
-        self._seq = 0
+        # time_ps -> FIFO list of entries; an entry is either a bare
+        # callback (post path) or an _Event (cancellable path).
+        self._buckets: dict[int, list] = {}
+        self._times: list[int] = []  # heap of the distinct bucket times
+        self._pos = 0  # resume index into the earliest bucket after stop()
+        # Invariant: live events == _queued - _cancelled_pending. Keeping
+        # two counters instead of three makes the per-event bookkeeping a
+        # single integer update on each of the insert and dispatch paths.
+        self._queued = 0  # total entries queued, cancelled included
+        self._cancelled_pending = 0  # cancelled records not yet dropped
         self._running = False
         self._stopped = False
+        self.executed_total = 0
+
+    # -- time ----------------------------------------------------------------
 
     @property
     def now(self) -> int:
@@ -100,8 +161,10 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return self._queued - self._cancelled_pending
+
+    # -- scheduling ----------------------------------------------------------
 
     def schedule(self, delay_ps: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay_ps`` picoseconds from now."""
@@ -110,15 +173,91 @@ class Engine:
         return self.schedule_at(self._now + int(delay_ps), callback)
 
     def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at an absolute timestamp."""
+        """Schedule ``callback`` at an absolute timestamp, cancellable."""
+        time_ps = int(time_ps)
         if time_ps < self._now:
             raise SimulationError(
                 f"cannot schedule at {time_ps} ps, already at {self._now} ps"
             )
-        event = _Event(int(time_ps), self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _Event(time_ps, 0, callback)
+        bucket = self._buckets.get(time_ps)
+        if bucket is None:
+            self._buckets[time_ps] = [event]
+            heapq.heappush(self._times, time_ps)
+        else:
+            bucket.append(event)
+        self._queued += 1
+        return EventHandle(self, event)
+
+    # The two post methods inline the bucket insert: they are the hottest
+    # functions in the whole simulator and every saved call level counts.
+
+    def post(self, delay_ps: int, callback: Callable[[], None]) -> None:
+        """Uncancellable fast path: no event record, no handle."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        time_ps = self._now + int(delay_ps)
+        bucket = self._buckets.get(time_ps)
+        if bucket is None:
+            self._buckets[time_ps] = [callback]
+            heapq.heappush(self._times, time_ps)
+        else:
+            bucket.append(callback)
+        self._queued += 1
+
+    def post_at(self, time_ps: int, callback: Callable[[], None]) -> None:
+        """Uncancellable fast path at an absolute timestamp."""
+        time_ps = int(time_ps)
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, already at {self._now} ps"
+            )
+        bucket = self._buckets.get(time_ps)
+        if bucket is None:
+            self._buckets[time_ps] = [callback]
+            heapq.heappush(self._times, time_ps)
+        else:
+            bucket.append(callback)
+        self._queued += 1
+
+    # -- cancellation bookkeeping --------------------------------------------
+
+    def _on_cancel(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= _PURGE_MIN_CANCELLED
+            and self._cancelled_pending * 2 > self._queued
+        ):
+            self._purge()
+
+    def _purge(self) -> None:
+        """Drop cancelled records from every bucket not currently executing."""
+        # Never rewrite the bucket currently (or partially) executing:
+        # _pos indexes into it.
+        in_head = self._running or self._pos
+        skip = self._times[0] if in_head and self._times else None
+        removed = 0
+        for time_ps in list(self._buckets):
+            if time_ps == skip:
+                continue
+            bucket = self._buckets[time_ps]
+            kept = [
+                e for e in bucket
+                if not (e.__class__ is _Event and e.cancelled)
+            ]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                if kept:
+                    self._buckets[time_ps] = kept
+                else:
+                    del self._buckets[time_ps]
+                    self._times.remove(time_ps)
+        if removed:
+            heapq.heapify(self._times)
+            self._queued -= removed
+            self._cancelled_pending -= removed
+
+    # -- execution -----------------------------------------------------------
 
     def stop(self) -> None:
         """Stop the run loop after the current callback returns."""
@@ -137,19 +276,49 @@ class Engine:
         self._running = True
         self._stopped = False
         executed = 0
+        times = self._times
+        buckets = self._buckets
+        event_class = _Event
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
-                if until_ps is not None and event.time_ps > until_ps:
+            while times and not self._stopped:
+                time_ps = times[0]
+                if until_ps is not None and time_ps > until_ps:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                self._now = event.time_ps
-                event.callback()
-                executed += 1
+                bucket = buckets[time_ps]
+                if self._pos:
+                    # Resuming after a mid-bucket stop(): drop the already
+                    # dispatched prefix so iteration restarts at zero.
+                    bucket = bucket[self._pos:]
+                    buckets[time_ps] = bucket
+                    self._pos = 0
+                self._now = time_ps
+                i = 0
+                # The list iterator re-checks the length every step, so
+                # callbacks that schedule more work at the current
+                # timestamp extend this bucket and the new entries run in
+                # this same pass, in append order.
+                for entry in bucket:
+                    i += 1
+                    self._queued -= 1
+                    if entry.__class__ is event_class:
+                        if entry.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        entry.done = True
+                        entry = entry.callback
+                    entry()
+                    executed += 1
+                    if self._stopped:
+                        break
+                if i < len(bucket):
+                    # Stopped mid-bucket: remember where to resume.
+                    self._pos = i
+                    break
+                del buckets[time_ps]
+                heapq.heappop(times)
         finally:
             self._running = False
+            self.executed_total += executed
         if until_ps is not None and self._now < until_ps and not self._stopped:
             self._now = until_ps
         return executed
@@ -161,5 +330,96 @@ class Engine:
     def drain(self, callbacks: Iterable[Callable[[], None]] = ()) -> int:
         """Schedule ``callbacks`` immediately, then run the queue dry."""
         for callback in callbacks:
-            self.schedule(0, callback)
+            self.post(0, callback)
         return self.run()
+
+
+class HeapqEngine(Engine):
+    """The reference engine: a single binary heap of ``(time, seq)`` events.
+
+    Functionally identical to :class:`Engine` (the property suite asserts
+    byte-identical orderings); kept as the straightforward implementation
+    the calendar queue is validated -- and benchmarked -- against.
+    """
+
+    kind = "heapq"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: list[_Event] = []
+        self._seq = 0
+
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> EventHandle:
+        time_ps = int(time_ps)
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, already at {self._now} ps"
+            )
+        event = _Event(time_ps, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._queued += 1
+        return EventHandle(self, event)
+
+    def post(self, delay_ps: int, callback: Callable[[], None]) -> None:
+        # The reference engine has no bare-callback representation; the
+        # post path simply discards the handle.
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        self.schedule_at(self._now + int(delay_ps), callback)
+
+    def post_at(self, time_ps: int, callback: Callable[[], None]) -> None:
+        self.schedule_at(time_ps, callback)
+
+    def _purge(self) -> None:
+        survivors = [e for e in self._queue if not e.cancelled]
+        removed = len(self._queue) - len(survivors)
+        if removed:
+            heapq.heapify(survivors)
+            self._queue = survivors
+            self._queued -= removed
+            self._cancelled_pending -= removed
+
+    def run(self, until_ps: Optional[int] = None) -> int:
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        queue = self._queue
+        try:
+            while queue and not self._stopped:
+                event = queue[0]
+                if until_ps is not None and event.time_ps > until_ps:
+                    break
+                heapq.heappop(queue)
+                self._queued -= 1
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self._now = event.time_ps
+                event.done = True
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+            self.executed_total += executed
+        if until_ps is not None and self._now < until_ps and not self._stopped:
+            self._now = until_ps
+        return executed
+
+
+ENGINE_KINDS = {
+    "calendar": Engine,
+    "heapq": HeapqEngine,
+}
+
+
+def make_engine(kind: str = "calendar") -> Engine:
+    """Build an engine by queue implementation name."""
+    try:
+        return ENGINE_KINDS[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown engine kind {kind!r}; choose from {sorted(ENGINE_KINDS)}"
+        ) from None

@@ -37,12 +37,17 @@ class IoOp(Enum):
     PIO_WRITE = "pio_write"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """Base class for all ICN packets.
 
     ``ds_id`` is the DiffServ identity tag; ``birth_ps`` records when the
     packet entered the network, for end-to-end latency accounting.
+
+    Packets are the single most-allocated object in a run (one per
+    memory access that reaches the event-driven path), so every subclass
+    is a ``slots=True`` dataclass: no per-instance ``__dict__``, smaller
+    footprint, faster attribute access.
     """
 
     ds_id: int = DEFAULT_DSID
@@ -54,7 +59,7 @@ class Packet:
             raise ValueError(f"DS-id {self.ds_id} outside 16-bit tag space")
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryPacket(Packet):
     """A cache/memory access request.
 
@@ -85,7 +90,7 @@ class MemoryPacket(Packet):
         return self.addr - (self.addr % line_size)
 
 
-@dataclass
+@dataclass(slots=True)
 class IoPacket(Packet):
     """A programmed-I/O request issued by a CPU core to a device register."""
 
@@ -95,7 +100,7 @@ class IoPacket(Packet):
     value: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DmaPacket(Packet):
     """A DMA data-transfer request issued by a device's DMA engine."""
 
@@ -105,7 +110,7 @@ class DmaPacket(Packet):
     device: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class InterruptPacket(Packet):
     """An interrupt raised by a device, routed by the APIC per DS-id."""
 

@@ -66,35 +66,66 @@ class LatencyRecorder:
 
     Used both by hardware models (memory queueing delay, Fig. 11) and by
     workloads (memcached response times, Fig. 8).
+
+    The recorder sits on per-request hot paths, so the summary statistics
+    are maintained incrementally: ``record`` updates a running sum and
+    min/max, making ``mean``/``min``/``max``/``total`` O(1) reads instead
+    of full-list reductions. Percentile and CDF queries sort once and
+    reuse the sorted view until the next sample arrives.
     """
+
+    __slots__ = ("name", "samples", "_sum", "_min", "_max", "_ordered_cache")
 
     def __init__(self, name: str = "latency"):
         self.name = name
         self.samples: list[float] = []
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._ordered_cache: Optional[list[float]] = None
 
     def record(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        self.samples.append(value)
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._ordered_cache = None
 
     def extend(self, values: Iterable[float]) -> None:
-        self.samples.extend(float(v) for v in values)
+        for value in values:
+            self.record(value)
 
     @property
     def count(self) -> int:
         return len(self.samples)
 
     @property
+    def total(self) -> float:
+        """Sum of all recorded samples (incrementally maintained)."""
+        return self._sum
+
+    @property
     def mean(self) -> float:
         if not self.samples:
             return 0.0
-        return sum(self.samples) / len(self.samples)
+        return self._sum / len(self.samples)
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self.samples else 0.0
 
     @property
     def min(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._min if self.samples else 0.0
+
+    def _ordered(self) -> list[float]:
+        ordered = self._ordered_cache
+        if ordered is None:
+            ordered = self._ordered_cache = sorted(self.samples)
+        return ordered
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
@@ -102,7 +133,7 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return ordered[0]
         rank = (pct / 100.0) * (len(ordered) - 1)
@@ -127,7 +158,7 @@ class LatencyRecorder:
         """
         if not self.samples:
             return []
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         n = len(ordered)
         if points is None:
             result = []
@@ -149,6 +180,10 @@ class LatencyRecorder:
 
     def reset(self) -> None:
         self.samples.clear()
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._ordered_cache = None
 
     def __repr__(self) -> str:
         return f"LatencyRecorder({self.name}: n={self.count}, mean={self.mean:.2f})"

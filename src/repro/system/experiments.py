@@ -494,7 +494,7 @@ def _drive_controller(
         else:
             mean_gap_ps = DRAM_CLOCK_PS / rate_req_per_cycle
             time_ps += max(1, int(arrival_rng.exponential(mean_gap_ps)))
-            engine.schedule_at(
+            engine.post_at(
                 time_ps,
                 lambda p=packet: controller.handle_request(p, lambda _r: None),
             )

@@ -27,7 +27,7 @@ from repro.io.disk import IdeControlPlane, IdeController
 from repro.io.nic import MultiQueueNic, NicControlPlane
 from repro.prm.firmware import Firmware, HardwareInventory
 from repro.sim.clock import ClockDomain
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, make_engine
 from repro.sim.trace import NULL_TRACER, Tracer
 from repro.system.config import ServerConfig, TABLE2
 
@@ -40,9 +40,10 @@ class PardServer:
         config: ServerConfig = TABLE2,
         engine: Optional[Engine] = None,
         tracer: Tracer = NULL_TRACER,
+        engine_kind: str = "calendar",
     ):
         self.config = config
-        self.engine = engine or Engine()
+        self.engine = engine or make_engine(engine_kind)
         self.tracer = tracer
         engine = self.engine
 
@@ -159,8 +160,9 @@ class PardServer:
             plane.start_windows()
         self.nic.control.start_windows()
 
-    def run_ms(self, milliseconds: float) -> None:
-        self.engine.run_for(int(milliseconds * 1_000_000_000))
+    def run_ms(self, milliseconds: float) -> int:
+        """Advance the machine; returns the number of events executed."""
+        return self.engine.run_for(int(milliseconds * 1_000_000_000))
 
     # -- measurement -----------------------------------------------------------
 

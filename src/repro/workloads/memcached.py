@@ -78,7 +78,7 @@ class MemcachedServer(Workload):
 
     def _schedule_next_arrival(self) -> None:
         gap = self.rng.exponential(self._interarrival_ps)
-        self.engine.schedule(max(1, int(gap)), self._arrive)
+        self.engine.post(max(1, int(gap)), self._arrive)
 
     def _arrive(self) -> None:
         now = self.engine.now

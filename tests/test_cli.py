@@ -40,6 +40,7 @@ class TestCommands:
         assert "high priority" in out
         assert "x faster" in out
 
+    @pytest.mark.slow
     def test_fig9_runs_small(self, capsys):
         assert main(["fig9", "--rps", "150000", "--total-ms", "3.0"]) == 0
         out = capsys.readouterr().out

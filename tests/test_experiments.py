@@ -32,6 +32,7 @@ class TestColocationPoint:
         assert result.throughput_rps > 0
         assert not result.trigger_fired
 
+    @pytest.mark.slow
     def test_shared_runs_all_cores_and_degrades(self):
         setup = tiny_setup()
         solo = run_colocation_point("solo", 150_000, setup=setup, measure_ms=1.0)
@@ -40,6 +41,7 @@ class TestColocationPoint:
         assert shared.p95_ms > solo.p95_ms
         assert shared.llc_miss_rate > (solo.llc_miss_rate or 0)
 
+    @pytest.mark.slow
     def test_trigger_mode_fires_and_recovers(self):
         setup = tiny_setup()
         shared = run_colocation_point("shared", 150_000, setup=setup, measure_ms=1.5)
@@ -59,6 +61,7 @@ class TestColocationPoint:
 
 
 class TestFig9Timeline:
+    @pytest.mark.slow
     def test_trigger_timeline_shape(self):
         setup = tiny_setup()
         timeline = run_fig9(

@@ -80,6 +80,7 @@ class TestTaggedMemoryPath:
 
 
 class TestTriggerEndToEnd:
+    @pytest.mark.slow
     def test_miss_rate_trigger_repartitions_llc(self):
         server = PardServer(TABLE2.scaled(16))
         fw = server.firmware

@@ -19,6 +19,7 @@ def make_monitored_server():
     return server, fw, ldom, monitor
 
 
+@pytest.mark.slow
 class TestStatisticsMonitor:
     def test_probe_validates_path_up_front(self):
         _, fw, ldom, monitor = make_monitored_server()

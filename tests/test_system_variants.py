@@ -40,6 +40,7 @@ class TestCrossbarVariant:
         assert server.crossbar.forwarded > 0
         assert server.llc.occupancy_blocks(ldom.ds_id) > 0
 
+    @pytest.mark.slow
     def test_crossbar_adds_latency(self):
         fast_server, _ = run_stream_server(TABLE2.scaled(32))
         slow_config = replace(
