@@ -1,0 +1,173 @@
+"""Telemetry overhead benchmark: the disabled path must be (nearly) free.
+
+Drives the same colocated fig8-style machine (memcached + three stream
+antagonists, "shared" mode) under three telemetry configurations:
+
+- ``none``        -- no hub at all (the pre-telemetry baseline),
+- ``disabled``    -- ``Telemetry(enabled=False)``: every component holds
+  the hub but normalizes it to ``None``, so hot paths pay only the same
+  ``is None`` guards as the baseline,
+- ``sampled_1pct`` -- enabled, 1-in-100 span sampling and 1 ms metric
+  snapshots (the recommended operator configuration).
+
+The simulation itself must be byte-identical across configurations
+(telemetry observes, never schedules differently), which the benchmark
+asserts via served-request counts before comparing wall-clock rates.
+
+Run as a script for the full measurement and a machine-readable JSON
+record on stdout (``--json-file`` also writes it to disk; ``--check``
+exits non-zero unless disabled telemetry stays within 3% of the
+no-telemetry baseline and 1% sampling stays within the bounded-overhead
+bar)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py [--check]
+
+Run under pytest for the CI smoke mode (shorter simulation, softer
+bounds for noisy shared runners)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.system.experiments import ColocationSetup, _build_colocated_server
+from repro.telemetry import Telemetry
+
+RPS = 220_000
+FULL_SIM_MS = 4.0
+SMOKE_SIM_MS = 1.0
+
+# Acceptance bars (events/sec relative to the no-telemetry baseline).
+DISABLED_BAR = 0.97  # disabled telemetry: within 3%
+SAMPLED_BAR = 0.70  # 1% sampling: bounded, not free
+SMOKE_DISABLED_BAR = 0.90
+SMOKE_SAMPLED_BAR = 0.50
+
+
+def _make_telemetry(config: str) -> Telemetry | None:
+    if config == "none":
+        return None
+    if config == "disabled":
+        return Telemetry(enabled=False)
+    if config == "sampled_1pct":
+        return Telemetry(span_sample=100, snapshot_period_ms=1.0)
+    raise ValueError(f"unknown config {config!r}")
+
+
+def drive(config: str, sim_ms: float, rps: float = RPS) -> dict:
+    """Run one configuration to completion; return a result row."""
+    telemetry = _make_telemetry(config)
+    setup = ColocationSetup()
+    server, memcached, _ds_id = _build_colocated_server(
+        setup, "shared", rps, telemetry=telemetry
+    )
+    started = time.perf_counter()
+    executed = server.run_ms(sim_ms)
+    elapsed = time.perf_counter() - started
+    row = {
+        "config": config,
+        "events": executed,
+        "elapsed_s": round(elapsed, 6),
+        "events_per_sec": round(executed / elapsed, 1),
+        "requests_served": memcached.requests_served,
+    }
+    if telemetry is not None and telemetry.enabled:
+        row["spans_recorded"] = len(telemetry.spans.finished)
+        row["snapshots"] = len(telemetry.snapshots)
+        row["instruments"] = len(telemetry.registry)
+    return row
+
+
+def run_benchmark(sim_ms: float = FULL_SIM_MS, repeat: int = 1) -> dict:
+    configs = ("none", "disabled", "sampled_1pct")
+    # Interleave repeats round-robin so clock drift / thermal effects hit
+    # every configuration equally, then keep best-of-N per config
+    # (wall-clock noise only ever slows a run down).
+    rows: dict[str, list[dict]] = {config: [] for config in configs}
+    for _ in range(max(1, repeat)):
+        for config in configs:
+            rows[config].append(drive(config, sim_ms))
+    results = {
+        config: max(rows[config], key=lambda r: r["events_per_sec"])
+        for config in configs
+    }
+    # Telemetry must observe without perturbing the simulation.
+    served = {row["requests_served"] for row in results.values()}
+    if len(served) != 1:
+        raise AssertionError(f"configs diverged: requests served {served}")
+    baseline = results["none"]["events_per_sec"]
+    return {
+        "benchmark": "telemetry_overhead",
+        "sim_ms": sim_ms,
+        "rps": RPS,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "results": results,
+        "disabled_vs_none": round(
+            results["disabled"]["events_per_sec"] / baseline, 4
+        ),
+        "sampled_vs_none": round(
+            results["sampled_1pct"]["events_per_sec"] / baseline, 4
+        ),
+    }
+
+
+# -- pytest smoke mode (used by CI) ---------------------------------------
+
+
+def test_telemetry_overhead_smoke():
+    record = run_benchmark(SMOKE_SIM_MS, repeat=2)
+    print()
+    print(json.dumps(record, indent=2))
+    assert record["results"]["sampled_1pct"]["spans_recorded"] > 0
+    assert record["results"]["sampled_1pct"]["snapshots"] > 0
+    assert record["disabled_vs_none"] >= SMOKE_DISABLED_BAR
+    assert record["sampled_vs_none"] >= SMOKE_SAMPLED_BAR
+
+
+# -- script mode ------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sim-ms", type=float, default=FULL_SIM_MS)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per config; best-of-N is reported")
+    parser.add_argument("--json-file", default=None)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless disabled telemetry is within 3% of the "
+             "no-telemetry baseline and 1%% sampling is bounded",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(args.sim_ms, args.repeat)
+    text = json.dumps(record, indent=2)
+    print(text)
+    if args.json_file:
+        with open(args.json_file, "w") as fh:
+            fh.write(text + "\n")
+    if args.check:
+        if record["disabled_vs_none"] < DISABLED_BAR:
+            print(
+                f"FAIL: disabled telemetry at "
+                f"{record['disabled_vs_none']:.3f}x baseline "
+                f"(bar {DISABLED_BAR})", file=sys.stderr,
+            )
+            return 1
+        if record["sampled_vs_none"] < SAMPLED_BAR:
+            print(
+                f"FAIL: 1% sampling at {record['sampled_vs_none']:.3f}x "
+                f"baseline (bar {SAMPLED_BAR})", file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

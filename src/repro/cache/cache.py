@@ -91,12 +91,16 @@ class Cache(Component):
         downstream: Component,
         control=None,
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, config.name, clock)
         self.config = config
         self.downstream = downstream
         self.control = control
         self.tracer = tracer
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
         self._sets: dict[int, _Set] = {}
         self._reserved_slots: dict[tuple[int, int], int] = {}
         self.mshrs = MshrFile(config.mshr_entries)
@@ -104,6 +108,13 @@ class Cache(Component):
         # Plain counters for caches without a control plane (the L1s).
         self.total_hits = 0
         self.total_misses = 0
+        if self.telemetry is not None:
+            # Callback gauges over the plain counters: zero hot-path cost,
+            # read only at snapshot time.
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"cache.{self.name}.hits", lambda: self.total_hits)
+            reg.gauge_fn(f"cache.{self.name}.misses", lambda: self.total_misses)
+            reg.gauge_fn(f"cache.{self.name}.miss_rate", lambda: self.miss_rate)
         if control is not None:
             control.bind_cache(self)
 
@@ -137,7 +148,10 @@ class Cache(Component):
         self.total_hits += 1
         if self.control is not None:
             self.control.record_access(packet.ds_id, hit=True)
-        return self.config.hit_latency_cycles * self.clock.period_ps
+        latency_ps = self.config.hit_latency_cycles * self.clock.period_ps
+        if packet.span is not None:
+            packet.span.hop(f"{self.name}.hit", self.now + latency_ps)
+        return latency_ps
 
     def _lookup(self, packet: MemoryPacket, on_response: ResponseCallback) -> None:
         line_addr = packet.line_addr(self.config.line_size)
@@ -156,6 +170,8 @@ class Cache(Component):
         self.total_hits += 1
         if self.control is not None:
             self.control.record_access(packet.ds_id, hit=True)
+        if packet.span is not None:
+            packet.span.hop(f"{self.name}.hit", self.now)
         on_response(packet)
 
     def _on_miss(
@@ -164,6 +180,8 @@ class Cache(Component):
         self.total_misses += 1
         if self.control is not None:
             self.control.record_access(packet.ds_id, hit=False)
+        if packet.span is not None:
+            packet.span.hop(f"{self.name}.miss", self.now)
         try:
             _entry, is_primary = self.mshrs.allocate(
                 line_addr,
@@ -187,6 +205,9 @@ class Cache(Component):
             size=self.config.line_size,
             op=MemOp.READ,
             birth_ps=self.now,
+            # The fill inherits the missing request's span, so the trail
+            # continues downstream (LLC, crossbar, DRAM).
+            span=packet.span,
         )
         fill_done = lambda _resp=None: self._on_fill(set_index, tag, line_addr, packet.ds_id)
         sync_latency = self.downstream.access(fill, fill_done)

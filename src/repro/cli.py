@@ -38,6 +38,44 @@ from repro.system.experiments import (
     run_fig10,
     run_fig11,
 )
+from repro.telemetry import Telemetry
+
+
+def _add_telemetry_args(subparser: argparse.ArgumentParser) -> None:
+    group = subparser.add_argument_group("telemetry")
+    group.add_argument("--metrics-out", type=str, default=None, metavar="FILE",
+                       help="write metric snapshots as JSONL")
+    group.add_argument("--trace-out", type=str, default=None, metavar="FILE",
+                       help="write sampled packet spans as a Chrome trace")
+    group.add_argument("--span-sample", type=int, default=100, metavar="N",
+                       help="record every Nth eligible packet (default 100)")
+    group.add_argument("--metrics-every-ms", type=float, default=1.0,
+                       help="snapshot period in sim ms (default 1.0)")
+
+
+def _telemetry_from(args) -> Optional[Telemetry]:
+    """Build a Telemetry hub only when an export was requested."""
+    if not (getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)):
+        return None
+    return Telemetry(
+        span_sample=max(1, args.span_sample),
+        snapshot_period_ms=args.metrics_every_ms,
+    )
+
+
+def _export_telemetry(telemetry: Optional[Telemetry], args) -> None:
+    if telemetry is None:
+        return
+    if args.metrics_out:
+        rows = telemetry.export_metrics_jsonl(args.metrics_out)
+        print(f"wrote {rows} metric rows to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        events = telemetry.export_chrome_trace(args.trace_out)
+        print(
+            f"wrote {events} trace events ({len(telemetry.spans)} spans, "
+            f"{telemetry.spans.dropped} dropped) to {args.trace_out}",
+            file=sys.stderr,
+        )
 
 
 def cmd_table2(_args) -> int:
@@ -46,7 +84,9 @@ def cmd_table2(_args) -> int:
 
 
 def cmd_fig7(args) -> int:
-    timeline = run_fig7(phase_ms=args.phase_ms)
+    telemetry = _telemetry_from(args)
+    timeline = run_fig7(phase_ms=args.phase_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
     for name, series in timeline.llc_occupancy_bytes.items():
         kb = [v / 1024 for v in series]
         print(f"{name:12s} LLC KB |{ascii_sparkline(kb)}| last={kb[-1]:.0f}")
@@ -57,7 +97,11 @@ def cmd_fig7(args) -> int:
 
 def cmd_fig8(args) -> int:
     loads = [int(x) for x in args.loads.split(",")] if args.loads else None
-    results = run_fig8(loads_rps=loads, measure_ms=args.measure_ms)
+    telemetry = _telemetry_from(args)
+    results = run_fig8(
+        loads_rps=loads, measure_ms=args.measure_ms, telemetry=telemetry
+    )
+    _export_telemetry(telemetry, args)
     rows = [
         [r.mode, f"{r.paper_krps:.1f}", f"{r.p95_ms:.3f}", f"{r.mean_ms:.3f}",
          f"{r.cpu_utilization * 100:.0f}%", f"{(r.llc_miss_rate or 0) * 100:.1f}%",
@@ -72,7 +116,9 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig9(args) -> int:
-    timeline = run_fig9(rps=args.rps, total_ms=args.total_ms)
+    telemetry = _telemetry_from(args)
+    timeline = run_fig9(rps=args.rps, total_ms=args.total_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
     for t, miss in zip(timeline.times_ms, timeline.miss_rates):
         marker = ""
         if timeline.trigger_time_ms is not None and abs(t - timeline.trigger_time_ms) < 0.25:
@@ -83,7 +129,9 @@ def cmd_fig9(args) -> int:
 
 
 def cmd_fig10(args) -> int:
-    timeline = run_fig10(phase_ms=args.phase_ms)
+    telemetry = _telemetry_from(args)
+    timeline = run_fig10(phase_ms=args.phase_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
     for i, t in enumerate(timeline.times_ms):
         a = timeline.bandwidth_share["ldom_a"][i] * 100
         b = timeline.bandwidth_share["ldom_b"][i] * 100
@@ -93,7 +141,11 @@ def cmd_fig10(args) -> int:
 
 
 def cmd_fig11(args) -> int:
-    result = run_fig11(inject_rate=args.inject, num_requests=args.requests)
+    telemetry = _telemetry_from(args)
+    result = run_fig11(
+        inject_rate=args.inject, num_requests=args.requests, telemetry=telemetry
+    )
+    _export_telemetry(telemetry, args)
     print(format_table(
         ["configuration", "mean delay (cycles)"],
         [
@@ -148,27 +200,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig7 = sub.add_parser("fig7", help="dynamic partitioning timeline")
     fig7.add_argument("--phase-ms", type=float, default=1.0)
+    _add_telemetry_args(fig7)
     fig7.set_defaults(fn=cmd_fig7)
 
     fig8 = sub.add_parser("fig8", help="tail latency vs load")
     fig8.add_argument("--loads", type=str, default="",
                       help="comma-separated RPS values")
     fig8.add_argument("--measure-ms", type=float, default=2.0)
+    _add_telemetry_args(fig8)
     fig8.set_defaults(fn=cmd_fig8)
 
     fig9 = sub.add_parser("fig9", help="miss-rate trigger timeline")
     fig9.add_argument("--rps", type=float, default=300_000)
     fig9.add_argument("--total-ms", type=float, default=5.0)
+    _add_telemetry_args(fig9)
     fig9.set_defaults(fn=cmd_fig9)
 
     fig10 = sub.add_parser("fig10", help="disk bandwidth isolation")
     fig10.add_argument("--phase-ms", type=float, default=160.0)
+    _add_telemetry_args(fig10)
     fig10.set_defaults(fn=cmd_fig10)
 
     fig11 = sub.add_parser("fig11", help="memory queueing delay")
     fig11.add_argument("--inject", type=float, default=0.75,
                        help="fraction of measured saturation bandwidth")
     fig11.add_argument("--requests", type=int, default=6000)
+    _add_telemetry_args(fig11)
     fig11.set_defaults(fn=cmd_fig11)
 
     sub.add_parser("fig12", help="FPGA resource model").set_defaults(fn=cmd_fig12)

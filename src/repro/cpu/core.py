@@ -66,11 +66,21 @@ class CpuCore(Component):
         memory: Component,
         io_port: Optional[Component] = None,
         flush_threshold_cycles: int = 100,
+        telemetry=None,
     ):
         super().__init__(engine, f"core{core_id}", clock)
         self.core_id = core_id
         self.memory = memory
         self.io_port = io_port
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"cpu.{self.name}.busy_ps", lambda: self.busy_ps)
+            reg.gauge_fn(
+                f"cpu.{self.name}.memory_accesses", lambda: self.memory_accesses
+            )
         self.tag = TagRegister(f"core{core_id}")
         self.flush_threshold_ps = flush_threshold_cycles * clock.period_ps
         self.state = CoreState.IDLE
@@ -169,6 +179,8 @@ class CpuCore(Component):
         self.memory_accesses += 1
         latency = self.memory.access(packet, self._resume)
         if latency is not None:
+            if packet.span is not None:
+                self._finish_span(packet, self.now + latency)
             return acc_ps + latency
         self._begin_wait(acc_ps, outstanding=1)
         return None
@@ -183,21 +195,36 @@ class CpuCore(Component):
             latency = self.memory.access(packet, self._resume_batch)
             if latency is None:
                 pending += 1
-            elif latency > max_sync:
-                max_sync = latency
+            else:
+                if packet.span is not None:
+                    self._finish_span(packet, self.now + latency)
+                if latency > max_sync:
+                    max_sync = latency
         if pending == 0:
             return acc_ps + max_sync
         self._begin_wait(acc_ps, outstanding=pending)
         return None
 
     def _make_packet(self, addr: int, is_store: bool) -> MemoryPacket:
-        return self.tag.tag(
+        packet = self.tag.tag(
             MemoryPacket(
                 addr=addr,
                 op=MemOp.WRITE if is_store else MemOp.READ,
                 birth_ps=self.now,
             )
         )
+        if self.telemetry is not None:
+            span = self.telemetry.spans.maybe_start(packet.ds_id, packet.packet_id)
+            if span is not None:
+                span.hop(f"{self.name}.issue", self.now)
+                packet.span = span
+        return packet
+
+    def _finish_span(self, packet, at_ps: int) -> None:
+        span = packet.span
+        span.hop(f"{self.name}.response", at_ps)
+        packet.span = None
+        self.telemetry.spans.finish(span)
 
     def _begin_wait(self, acc_ps: int, outstanding: int) -> None:
         # acc is carried, not consumed: it re-enters the accumulator when
@@ -210,11 +237,15 @@ class CpuCore(Component):
         self.state = CoreState.DONE
 
     def _resume(self, _packet=None) -> None:
+        if _packet is not None and _packet.span is not None:
+            self._finish_span(_packet, self.now)
         if self.state is CoreState.WAITING_MEM:
             self.state = CoreState.RUNNING
             self._step()
 
     def _resume_batch(self, _packet=None) -> None:
+        if _packet is not None and _packet.span is not None:
+            self._finish_span(_packet, self.now)
         self._outstanding -= 1
         if self._outstanding == 0:
             self._resume()

@@ -53,6 +53,7 @@ class MemoryController(Component):
         translate_addresses: bool = True,
         name: str = "memctrl",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, name, clock)
         self.timing = timing or DramTiming()
@@ -60,6 +61,23 @@ class MemoryController(Component):
         self.control = control
         self.translate_addresses = translate_addresses
         self.tracer = tracer
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        self._qdelay_hist = None
+        if self.telemetry is not None:
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"dram.{name}.served_requests", lambda: self.served_requests)
+            reg.gauge_fn(f"dram.{name}.served_bytes", lambda: self.served_bytes)
+            reg.gauge_fn(
+                f"dram.{name}.mean_qdelay_cycles",
+                lambda: self.mean_queue_delay_cycles,
+            )
+            # Queueing delay in memory cycles; log-spaced from 1 cycle to
+            # ~32k cycles covers idle through heavily-backlogged queues.
+            self._qdelay_hist = reg.histogram(
+                f"dram.{name}.qdelay_cycles", start=1.0, growth=2.0, count=16
+            )
         if control is None:
             # Fig. 11 baseline: a single queue, plain FR-FCFS.
             priority_levels = 1
@@ -120,6 +138,8 @@ class MemoryController(Component):
             on_response=on_response,
         )
         self.scheduler.enqueue(request)
+        if packet.span is not None:
+            packet.span.hop(f"{self.name}.enqueue", self.now)
         self.tracer.emit(
             self.now, self.name, "enqueue",
             f"dsid={ds_id} bank={bank_index} row={row} prio={priority}",
@@ -185,6 +205,10 @@ class MemoryController(Component):
         request.issued_at_ps = issue_ps
         delay_cycles = (issue_ps - request.enqueued_at_ps) / cycle_ps
         self.queue_delay[request.priority].record(delay_cycles)
+        if self._qdelay_hist is not None:
+            self._qdelay_hist.record(delay_cycles)
+        if request.packet.span is not None:
+            request.packet.span.hop(f"{self.name}.issue", issue_ps)
         self.tracer.emit(
             issue_ps, self.name, "issue",
             f"dsid={request.ds_id} bank={request.bank_index} "
@@ -197,6 +221,8 @@ class MemoryController(Component):
         self._inflight -= 1
         self.served_requests += 1
         self.served_bytes += request.packet.size
+        if request.packet.span is not None:
+            request.packet.span.hop(f"{self.name}.complete", done_ps)
         if self.control is not None:
             total_cycles = (done_ps - request.enqueued_at_ps) / self.clock.period_ps
             self.control.record_service(

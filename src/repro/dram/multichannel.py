@@ -42,6 +42,7 @@ class MultiChannelMemory(Component):
         interleave_bytes: int = 1024,
         name: str = "mcmem",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
         **controller_kwargs,
     ):
         super().__init__(engine, name, clock)
@@ -59,6 +60,7 @@ class MultiChannelMemory(Component):
                 timing=timing, geometry=geometry, control=control,
                 translate_addresses=False,
                 name=f"{name}.ch{i}", tracer=tracer,
+                telemetry=telemetry,
                 **controller_kwargs,
             )
             for i in range(channels)

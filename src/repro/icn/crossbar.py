@@ -65,6 +65,7 @@ class Crossbar(Component):
         control: Optional[CrossbarControlPlane] = None,
         name: str = "xbar",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, name)
         if traversal_ps < 0 or bytes_per_ps <= 0 or flit_bytes <= 0:
@@ -75,6 +76,13 @@ class Crossbar(Component):
         self.flit_bytes = flit_bytes
         self.control = control
         self.tracer = tracer
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge_fn(
+                f"icn.{name}.forwarded", lambda: self.forwarded
+            )
         self._queues: dict[int, deque] = {}
         self._deficit: dict[int, float] = {}
         self._rotation: list[int] = []
@@ -147,6 +155,8 @@ class Crossbar(Component):
     def _forward(self, packet: MemoryPacket, on_response: ResponseCallback) -> None:
         self._busy = False
         self.forwarded += 1
+        if packet.span is not None:
+            packet.span.hop(f"{self.name}.forward", self.now)
         self.tracer.emit(
             self.now, self.name, "forward", f"dsid={packet.effective_ds_id}"
         )

@@ -30,7 +30,13 @@ class RouteError(KeyError):
 class Apic(Component):
     """An interrupt controller with per-DS-id route tables."""
 
-    def __init__(self, engine: Engine, name: str = "apic", tracer: Tracer = NULL_TRACER):
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "apic",
+        tracer: Tracer = NULL_TRACER,
+        telemetry=None,
+    ):
         super().__init__(engine, name)
         self.tracer = tracer
         # route_tables[ds_id][vector] -> core_id
@@ -38,6 +44,13 @@ class Apic(Component):
         self._core_handlers: dict[int, InterruptHandler] = {}
         self.delivered = 0
         self.dropped = 0
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"io.{name}.delivered", lambda: self.delivered)
+            reg.gauge_fn(f"io.{name}.dropped", lambda: self.dropped)
 
     # -- configuration (programmed by the PRM / firmware) ------------------
 

@@ -61,12 +61,21 @@ class IoBridge(Component):
         forward_latency_ps: int = 1_000,
         name: str = "iobridge",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, name)
         self.control = control
         self.forward_latency_ps = forward_latency_ps
         self.tracer = tracer
         self._devices: dict[str, tuple[int, Component]] = {}
+        self.forwarded_pio = 0
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge_fn(
+                f"io.{name}.forwarded_pio", lambda: self.forwarded_pio
+            )
 
     def attach_device(self, name: str, device: Component) -> int:
         """Register a device; returns its bit index in the access masks."""
@@ -95,6 +104,7 @@ class IoBridge(Component):
                 raise IoAccessError(
                     f"DS-id {packet.ds_id} denied access to {packet.device}"
                 )
+        self.forwarded_pio += 1
         self.post(
             self.forward_latency_ps, lambda: device.handle_request(packet, on_response)
         )

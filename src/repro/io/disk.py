@@ -105,10 +105,18 @@ class IdeController(Component):
         pio_latency_ps: int = 2_000,
         name: str = "ide0",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, name)
         if total_bandwidth_bytes_per_s <= 0 or chunk_bytes <= 0:
             raise ValueError("bandwidth and chunk size must be positive")
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            self.telemetry.registry.gauge_fn(
+                f"io.{name}.completed_transfers", lambda: self.completed_transfers
+            )
         self.control = control
         self.total_bandwidth_bytes_per_s = total_bandwidth_bytes_per_s
         self.chunk_bytes = chunk_bytes

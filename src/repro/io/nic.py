@@ -72,6 +72,7 @@ class MultiQueueNic(Component):
         interrupt_vector: int = 11,
         name: str = "nic0",
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         super().__init__(engine, name)
         self.control = control
@@ -84,6 +85,13 @@ class MultiQueueNic(Component):
         self._tx_queue: deque[tuple[int, int, Optional[Callable[[], None]]]] = deque()
         self._tx_busy = False
         self.rx_dropped = 0
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        if self.telemetry is not None:
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"io.{name}.rx_dropped", lambda: self.rx_dropped)
+            reg.gauge_fn(f"io.{name}.vnics", lambda: len(self._vnics))
 
     # -- v-NIC management (programmed by the firmware) -------------------------
 

@@ -43,6 +43,19 @@ from repro.sim.trace import NULL_TRACER, Tracer
 # stored scaled (miss_rate is kept in basis points in the hardware).
 STAT_SCALES = {"miss_rate": 100}
 
+# Control-plane type code -> telemetry metric prefix (llc.ds1.misses ...).
+TELEMETRY_PREFIXES = {
+    "C": "llc",
+    "M": "memory",
+    "I": "ide",
+    "B": "bridge",
+    "N": "nic",
+    "X": "icn",
+}
+
+# Statistics-column renames for the telemetry namespace.
+TELEMETRY_STAT_NAMES = {"hit_cnt": "hits", "miss_cnt": "misses"}
+
 DISK_INTERRUPT_VECTOR = 14
 NIC_INTERRUPT_VECTOR = 11
 
@@ -75,6 +88,7 @@ class Firmware:
         inventory: HardwareInventory,
         reaction_latency_ps: int = 20 * PS_PER_US,
         tracer: Tracer = NULL_TRACER,
+        telemetry=None,
     ):
         self.engine = engine
         self.inventory = inventory
@@ -91,10 +105,66 @@ class Firmware:
         self._scripts: dict[str, ActionScript] = {}
         self._bindings: dict[tuple[str, int, int], str] = {}
         self.trigger_log: list[tuple[int, str, int, str]] = []
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        self._triggers_fired = None
+        self._scripts_run = None
+        self._ldom_metrics: dict[int, list[str]] = {}
         self.sysfs.mkdir("/sys/cpa")
         self.sysfs.mkdir("/log")
         for control_plane in inventory.control_planes:
             self._attach(control_plane)
+        if self.telemetry is not None:
+            self._mount_telemetry()
+
+    # -- /sys/telemetry (live registry mirror) -------------------------------
+
+    def _mount_telemetry(self) -> None:
+        """Mount the metrics registry read-only under ``/sys/telemetry``.
+
+        Every instrument appears as a file whose path is its dotted name
+        with dots as directories (``llc.ds1.misses`` ->
+        ``/sys/telemetry/llc/ds1/misses``); reads render the live value.
+        The registry's hooks keep the subtree in sync as instruments come
+        and go, so PRM scripts see exactly what operators export.
+        """
+        registry = self.telemetry.registry
+        self.sysfs.mkdir("/sys/telemetry")
+        self.sysfs.add_file(
+            "/sys/telemetry/export",
+            read_handler=self.telemetry.prometheus_text,
+        )
+        self._triggers_fired = registry.counter("prm.triggers_fired")
+        self._scripts_run = registry.counter("prm.scripts_run")
+        registry.gauge_fn("prm.ldoms", lambda: len(self.ldoms))
+        registry.on_register(self._telemetry_add_file)
+        registry.on_remove(self._telemetry_remove_file)
+
+    @staticmethod
+    def _telemetry_path(name: str) -> str:
+        return "/sys/telemetry/" + name.replace(".", "/")
+
+    def _telemetry_add_file(self, instrument) -> None:
+        path = self._telemetry_path(instrument.name)
+        # Tolerate replays and leaf/directory collisions: the registry is
+        # shared across servers in some experiments, the mirror is per-PRM.
+        if self.sysfs.exists(path):
+            return
+        try:
+            self.sysfs.add_file(path, read_handler=instrument.render)
+        except SysfsError:
+            pass
+
+    def _telemetry_remove_file(self, instrument) -> None:
+        path = self._telemetry_path(instrument.name)
+        if self.sysfs.exists(path) and not self.sysfs.is_dir(path):
+            self.sysfs.remove(path)
+        # Prune directories the removal emptied (but keep the mount root).
+        parent = path.rsplit("/", 1)[0]
+        while parent != "/sys/telemetry" and not self.sysfs.listdir(parent):
+            self.sysfs.remove(parent)
+            parent = parent.rsplit("/", 1)[0]
 
     # -- CPA attachment and sysfs construction -------------------------------
 
@@ -189,6 +259,8 @@ class Firmware:
             adaptor.control_plane.allocate_ldom(ds_id)
             self._build_ldom_subtree(adaptor, ds_id)
             self._program_defaults(adaptor, ldom, waymask)
+        if self.telemetry is not None:
+            self._register_ldom_metrics(ds_id)
         for core_id in core_ids:
             self._core(core_id).tag.write(ds_id)
         if self.inventory.apic is not None and core_ids:
@@ -221,6 +293,30 @@ class Firmware:
                     ldom.ds_id, columns.offset_of(column), TABLE_PARAMETER, value
                 )
 
+    def _register_ldom_metrics(self, ds_id: int) -> None:
+        """Expose each control plane's per-DS-id statistics as gauges.
+
+        Reads go through the CPA register protocol exactly like the
+        ``/sys/cpa`` statistics files, but only at snapshot time --
+        nothing touches the hardware between exports. Percent-scaled
+        columns (basis points in hardware) are reported in percent.
+        """
+        registry = self.telemetry.registry
+        names = self._ldom_metrics.setdefault(ds_id, [])
+        for adaptor in self.io_space:
+            cp = adaptor.control_plane
+            prefix = TELEMETRY_PREFIXES.get(cp.TYPE_CODE, "cpa")
+            for offset, column in enumerate(cp.statistics.schema.column_names):
+                leaf = TELEMETRY_STAT_NAMES.get(column, column)
+                metric = f"{prefix}.ds{ds_id}.{leaf}"
+                scale = STAT_SCALES.get(column, 1)
+
+                def read(a=adaptor, d=ds_id, o=offset, s=scale):
+                    return a.read_cell(d, o, TABLE_STATISTICS) / s
+
+                registry.gauge_fn(metric, read)
+                names.append(metric)
+
     def launch_ldom(self, name: str, workloads: dict[int, object]) -> LDom:
         """Launch an LDom: assign per-core workloads and mark it running."""
         ldom = self._ldom(name)
@@ -251,6 +347,9 @@ class Firmware:
             self._core(core_id).tag.write(0)
         if self.inventory.apic is not None:
             self.inventory.apic.clear_routes(ldom.ds_id)
+        if self.telemetry is not None:
+            for metric in self._ldom_metrics.pop(ldom.ds_id, []):
+                self.telemetry.registry.remove(metric)
         del self.ldoms[name]
         del self._ldoms_by_dsid[ldom.ds_id]
 
@@ -342,6 +441,8 @@ class Firmware:
         self.trigger_log.append(
             (self.engine.now, adaptor.name, ds_id, rule.describe())
         )
+        if self._triggers_fired is not None:
+            self._triggers_fired.add()
         if not script_path:
             return
         script = self._scripts[script_path]
@@ -356,6 +457,8 @@ class Firmware:
         )
 
     def _run_script(self, script: ActionScript, context: dict) -> None:
+        if self._scripts_run is not None:
+            self._scripts_run.add()
         self.tracer.emit(
             self.engine.now, "firmware", "action_script",
             f"cpa={context['cpa']} dsid={context['ds_id']}",

@@ -19,17 +19,21 @@ from repro.sim.engine import PS_PER_MS
 
 @dataclass
 class ProbeSeries:
-    """One monitored statistic's samples."""
+    """One monitored statistic's samples.
+
+    Values are numeric: integers stay integers, fractional readings
+    (average latencies, rates) are kept as floats rather than truncated.
+    """
 
     name: str
     path: str
     times_ps: list[int] = field(default_factory=list)
-    values: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
 
-    def latest(self) -> Optional[int]:
+    def latest(self) -> Optional[float]:
         return self.values[-1] if self.values else None
 
-    def as_rows(self) -> list[tuple[float, int]]:
+    def as_rows(self) -> list[tuple[float, float]]:
         """(time_ms, value) pairs, for printing or export."""
         return [(t / PS_PER_MS, v) for t, v in zip(self.times_ps, self.values)]
 
@@ -57,6 +61,10 @@ class StatisticsMonitor:
         return series
 
     def remove_probe(self, name: str) -> None:
+        if name not in self.probes:
+            raise ValueError(
+                f"no probe named {name!r}; have {sorted(self.probes)}"
+            )
         del self.probes[name]
 
     def start(self) -> None:
@@ -73,7 +81,7 @@ class StatisticsMonitor:
         now = self.engine.now
         for series in self.probes.values():
             try:
-                value = int(self.firmware.cat(series.path))
+                value = _parse_number(self.firmware.cat(series.path))
             except (SysfsError, ValueError):
                 # The LDom may have been destroyed between ticks; the
                 # real tool would see ENOENT the same way.
@@ -96,3 +104,34 @@ class StatisticsMonitor:
             rendered = "-" if latest is None else str(latest)
             lines.append(f"{name}: {rendered}  ({len(series.values)} samples)")
         return "\n".join(lines)
+
+    def export_jsonl(self, dest) -> int:
+        """Write every probe's samples as JSONL rows (one per sample).
+
+        Shares the telemetry exporter helpers, so the PRM's probe series
+        and the registry's metric snapshots load with the same tooling.
+        Returns the number of rows written.
+        """
+        from repro.telemetry.exporters import write_jsonl
+
+        def rows():
+            for name, series in sorted(self.probes.items()):
+                for t_ps, value in zip(series.times_ps, series.values):
+                    yield {
+                        "probe": name,
+                        "path": series.path,
+                        "t_ps": t_ps,
+                        "t_ms": t_ps / PS_PER_MS,
+                        "value": value,
+                    }
+
+        return write_jsonl(rows(), dest)
+
+
+def _parse_number(text: str) -> float:
+    """Parse a sysfs reading: ints stay exact, fractional values survive."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)

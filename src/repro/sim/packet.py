@@ -53,6 +53,10 @@ class Packet:
     ds_id: int = DEFAULT_DSID
     birth_ps: int = 0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Optional telemetry span (repro.telemetry.Span). None for the vast
+    # majority of packets; only a sampled fraction carries one, and every
+    # hop site guards with a single `is not None` check.
+    span: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.ds_id <= MAX_DSID:

@@ -114,12 +114,15 @@ class LatencyRecorder:
         return self._sum / len(self.samples)
 
     @property
-    def max(self) -> float:
-        return self._max if self.samples else 0.0
+    def max(self) -> Optional[float]:
+        """Largest sample, or ``None`` if nothing was recorded (a bare
+        0.0 would be indistinguishable from a real zero-latency sample)."""
+        return self._max if self.samples else None
 
     @property
-    def min(self) -> float:
-        return self._min if self.samples else 0.0
+    def min(self) -> Optional[float]:
+        """Smallest sample, or ``None`` if nothing was recorded."""
+        return self._min if self.samples else None
 
     def _ordered(self) -> list[float]:
         ordered = self._ordered_cache

@@ -8,6 +8,7 @@ that a trigger interrupt preceded the firmware's table write).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
@@ -21,18 +22,24 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; filterable by source/event."""
+    """Collects trace records; filterable by source/event.
+
+    With a ``capacity``, the tracer is a ring buffer: the *most recent*
+    records are kept (the usual thing wanted when diagnosing the end of
+    a run) and ``dropped`` counts how many old records were evicted.
+    """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         self.enabled = enabled
         self.capacity = capacity
-        self.records: list[TraceRecord] = []
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
 
     def emit(self, time_ps: int, source: str, event: str, detail: str = "") -> None:
         if not self.enabled:
             return
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            return
+        if self.capacity is not None and len(self.records) == self.capacity:
+            self.dropped += 1
         self.records.append(TraceRecord(time_ps, source, event, detail))
 
     def filter(
@@ -52,6 +59,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -93,12 +93,12 @@ class ColocationResult:
 
 
 def _build_colocated_server(
-    setup: ColocationSetup, mode: str, rps: float
+    setup: ColocationSetup, mode: str, rps: float, telemetry=None
 ) -> tuple[PardServer, MemcachedServer, int]:
     """Create the server, LDoms and workloads for one Fig. 8/9 run."""
     if mode not in ("solo", "shared", "trigger"):
         raise ValueError(f"unknown mode {mode!r}")
-    server = PardServer(setup.config())
+    server = PardServer(setup.config(), telemetry=telemetry)
     firmware = server.firmware
     rng = DeterministicRng(setup.seed, name=f"{mode}-{rps}")
     mc_ldom = firmware.create_ldom(
@@ -115,6 +115,8 @@ def _build_colocated_server(
         zipf_alpha=setup.mc_zipf_alpha,
         warmup_ps=int(setup.warmup_ms * PS_PER_MS),
         rng=rng.child("memcached"),
+        telemetry=telemetry,
+        ds_id=mc_ldom.ds_id,
     )
     if mode == "trigger":
         config = setup.config()
@@ -151,12 +153,19 @@ def run_colocation_point(
     rps: float,
     setup: Optional[ColocationSetup] = None,
     measure_ms: float = 2.5,
+    telemetry=None,
 ) -> ColocationResult:
     """One (mode, load) point of Fig. 8."""
     setup = setup or ColocationSetup()
-    server, memcached, ds_id = _build_colocated_server(setup, mode, rps)
+    if telemetry is not None:
+        telemetry.begin_run(f"{mode}@{rps:g}rps")
+    server, memcached, ds_id = _build_colocated_server(
+        setup, mode, rps, telemetry=telemetry
+    )
     total_ms = setup.warmup_ms + measure_ms
     server.run_ms(total_ms)
+    if server.telemetry is not None:
+        server.telemetry.snapshot(server.engine.now)
     duration_ps = int(measure_ms * PS_PER_MS)
     return ColocationResult(
         mode=mode,
@@ -175,6 +184,7 @@ def run_fig8(
     modes: tuple[str, ...] = ("solo", "shared", "trigger"),
     setup: Optional[ColocationSetup] = None,
     measure_ms: float = 2.5,
+    telemetry=None,
 ) -> list[ColocationResult]:
     """Fig. 8: tail response time vs offered load, for all three modes.
 
@@ -183,7 +193,9 @@ def run_fig8(
     """
     loads = loads_rps or [222_000, 333_000, 444_000, 500_000]
     return [
-        run_colocation_point(mode, rps, setup=setup, measure_ms=measure_ms)
+        run_colocation_point(
+            mode, rps, setup=setup, measure_ms=measure_ms, telemetry=telemetry
+        )
         for mode in modes
         for rps in loads
     ]
@@ -206,6 +218,7 @@ def run_fig9(
     stream_delay_ms: float = 1.0,
     total_ms: float = 5.0,
     sample_ms: float = 0.25,
+    telemetry=None,
 ) -> MissRateTimeline:
     """Fig. 9: the trigger catching a miss-rate excursion.
 
@@ -215,7 +228,9 @@ def run_fig9(
     """
     setup = setup or ColocationSetup()
     config = setup.config()
-    server = PardServer(config)
+    if telemetry is not None:
+        telemetry.begin_run(f"fig9@{rps:g}rps")
+    server = PardServer(config, telemetry=telemetry)
     firmware = server.firmware
     mc_ldom = firmware.create_ldom(
         "memcached", (0,), setup.ldom_memory_bytes, priority=setup.mc_priority
@@ -229,6 +244,8 @@ def run_fig9(
         zipf_alpha=setup.mc_zipf_alpha,
         warmup_ps=0,
         rng=DeterministicRng(setup.seed, "fig9").child("memcached"),
+        telemetry=telemetry,
+        ds_id=mc_ldom.ds_id,
     )
     firmware.register_script(
         "/cpa0_ldom1_t0.sh",
@@ -285,6 +302,7 @@ def run_fig7(
     setup: Optional[ColocationSetup] = None,
     phase_ms: float = 1.0,
     sample_ms: float = 0.25,
+    telemetry=None,
 ) -> VirtualizationTimeline:
     """Fig. 7: launch three LDoms in turn, then repartition with ``echo``.
 
@@ -295,7 +313,9 @@ def run_fig7(
     """
     setup = setup or ColocationSetup()
     config = setup.config()
-    server = PardServer(config)
+    if telemetry is not None:
+        telemetry.begin_run("fig7")
+    server = PardServer(config, telemetry=telemetry)
     firmware = server.firmware
     workload_scale = 1.0 / setup.scale
     boot = lambda: Boot(footprint_bytes=(4 << 20) // setup.scale)
@@ -370,6 +390,7 @@ def run_fig10(
     phase_ms: float = 200.0,
     sample_ms: float = 20.0,
     block_bytes: int = 4 << 20,
+    telemetry=None,
 ) -> DiskIsolationTimeline:
     """Fig. 10: two LDoms ``dd`` to disk; a quota write shifts the split.
 
@@ -379,7 +400,9 @@ def run_fig10(
     """
     setup = setup or ColocationSetup()
     config = setup.config()
-    server = PardServer(config)
+    if telemetry is not None:
+        telemetry.begin_run("fig10")
+    server = PardServer(config, telemetry=telemetry)
     firmware = server.firmware
     names = ("ldom_a", "ldom_b")
     ldoms = {}
@@ -458,6 +481,7 @@ def _drive_controller(
     seed: int,
     row_hit_fraction: float,
     hp_row_buffer: bool,
+    telemetry=None,
 ) -> MemoryController:
     """Run the Fig. 11 injector against one controller configuration.
 
@@ -472,7 +496,13 @@ def _drive_controller(
         control.allocate_ldom(1, priority=0)
         control.allocate_ldom(2, priority=1)
     controller = MemoryController(
-        engine, clock, control=control, hp_row_buffer=hp_row_buffer
+        engine, clock, control=control, hp_row_buffer=hp_row_buffer,
+        telemetry=telemetry,
+    )
+    spans = (
+        telemetry.spans
+        if (telemetry is not None and telemetry.enabled)
+        else None
     )
     rng = DeterministicRng(seed, "fig11")
     addr_rng = rng.child("addr")
@@ -489,14 +519,23 @@ def _drive_controller(
         addr = (row * geometry.total_banks + bank) * geometry.row_bytes
         ds_id = 2 if i % 2 else 1  # half high (2), half low (1)
         packet = MemoryPacket(ds_id=ds_id, addr=addr, birth_ps=time_ps)
+        if spans is not None:
+            span = spans.maybe_start(ds_id, packet.packet_id)
+            if span is not None:
+                span.hop("inject", time_ps)
+                packet.span = span
+        if packet.span is not None:
+            done = lambda _r, s=packet.span: spans.finish(s)
+        else:
+            done = lambda _r: None
         if rate_req_per_cycle is None:
-            controller.handle_request(packet, lambda _r: None)
+            controller.handle_request(packet, done)
         else:
             mean_gap_ps = DRAM_CLOCK_PS / rate_req_per_cycle
             time_ps += max(1, int(arrival_rng.exponential(mean_gap_ps)))
             engine.post_at(
                 time_ps,
-                lambda p=packet: controller.handle_request(p, lambda _r: None),
+                lambda p=packet, cb=done: controller.handle_request(p, cb),
             )
     engine.run()
     return controller
@@ -519,6 +558,7 @@ def run_fig11(
     seed: int = 7,
     row_hit_fraction: float = 0.5,
     hp_row_buffer: bool = False,
+    telemetry=None,
 ) -> QueueingResult:
     """Fig. 11: queueing delay CDF at a given bandwidth utilization.
 
@@ -541,12 +581,21 @@ def run_fig11(
         row_hit_fraction=row_hit_fraction,
     )
     rate = inject_rate * saturation
+    if telemetry is not None:
+        telemetry.begin_run("fig11-baseline")
     baseline = _drive_controller(
-        False, rate, num_requests, seed, row_hit_fraction, hp_row_buffer=False
+        False, rate, num_requests, seed, row_hit_fraction, hp_row_buffer=False,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.snapshot(baseline.engine.now)
+        telemetry.begin_run("fig11-pard")
     pard = _drive_controller(
-        True, rate, num_requests, seed, row_hit_fraction, hp_row_buffer
+        True, rate, num_requests, seed, row_hit_fraction, hp_row_buffer,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.snapshot(pard.engine.now)
     return QueueingResult(
         baseline_mean_cycles=baseline.queue_delay[0].mean,
         high_priority_mean_cycles=pard.queue_delay[1].mean,

@@ -41,11 +41,28 @@ class PardServer:
         engine: Optional[Engine] = None,
         tracer: Tracer = NULL_TRACER,
         engine_kind: str = "calendar",
+        telemetry=None,
     ):
         self.config = config
+        if engine is None and telemetry is not None and telemetry.profile_engine:
+            # Importing the profiler registers the "profiled" engine kind.
+            from repro.telemetry.profiler import ProfiledEngine  # noqa: F401
+
+            engine_kind = "profiled"
         self.engine = engine or make_engine(engine_kind)
         self.tracer = tracer
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        telemetry = self.telemetry
         engine = self.engine
+        if telemetry is not None:
+            telemetry.registry.gauge_fn(
+                "engine.executed_total", lambda: self.engine.executed_total
+            )
+            telemetry.registry.gauge_fn(
+                "engine.pending_events", lambda: self.engine.pending_events
+            )
 
         self.cpu_clock = ClockDomain(engine, config.cpu_period_ps, "cpu")
         self.dram_clock = ClockDomain(engine, config.dram_period_ps, "dram")
@@ -70,13 +87,13 @@ class PardServer:
             self.memory_controller = MemoryController(
                 engine, self.dram_clock,
                 timing=config.dram_timing, geometry=config.dram_geometry,
-                control=self.memory_control, tracer=tracer,
+                control=self.memory_control, tracer=tracer, telemetry=telemetry,
             )
         else:
             self.memory_controller = MultiChannelMemory(
                 engine, self.dram_clock, channels=config.memory_channels,
                 timing=config.dram_timing, geometry=config.dram_geometry,
-                control=self.memory_control, tracer=tracer,
+                control=self.memory_control, tracer=tracer, telemetry=telemetry,
             )
         llc_config = CacheConfig(
             name="llc",
@@ -87,7 +104,7 @@ class PardServer:
         )
         self.llc = Cache(
             engine, self.cpu_clock, llc_config, self.memory_controller,
-            control=self.llc_control, tracer=tracer,
+            control=self.llc_control, tracer=tracer, telemetry=telemetry,
         )
         # Optional explicit crossbar hop between the private L1s and the
         # shared LLC (the T1-style fabric of Fig. 1).
@@ -95,6 +112,7 @@ class PardServer:
             self.crossbar = Crossbar(
                 engine, self.llc,
                 traversal_ps=config.crossbar_traversal_ps, tracer=tracer,
+                telemetry=telemetry,
             )
             l1_downstream = self.crossbar
         else:
@@ -102,18 +120,22 @@ class PardServer:
             l1_downstream = self.llc
 
         # I/O.
-        self.apic = Apic(engine, tracer=tracer)
+        self.apic = Apic(engine, tracer=tracer, telemetry=telemetry)
         self.ide = IdeController(
             engine, control=self.ide_control, memory=self.memory_controller,
             apic=self.apic,
             total_bandwidth_bytes_per_s=config.disk_bandwidth_bytes_per_s,
             chunk_bytes=config.disk_chunk_bytes, tracer=tracer,
+            telemetry=telemetry,
         )
         self.nic = MultiQueueNic(
             engine, memory=self.memory_controller, apic=self.apic,
             control=NicControlPlane(engine, **plane_kwargs), tracer=tracer,
+            telemetry=telemetry,
         )
-        self.bridge = IoBridge(engine, control=self.bridge_control, tracer=tracer)
+        self.bridge = IoBridge(
+            engine, control=self.bridge_control, tracer=tracer, telemetry=telemetry
+        )
         self.bridge.attach_device("ide0", self.ide)
 
         # Cores behind private L1s.
@@ -126,8 +148,14 @@ class PardServer:
                 ways=config.l1_ways,
                 hit_latency_cycles=config.l1_hit_cycles,
             )
-            l1 = Cache(engine, self.cpu_clock, l1_config, l1_downstream, tracer=tracer)
-            core = CpuCore(engine, self.cpu_clock, core_id, l1, io_port=self.bridge)
+            l1 = Cache(
+                engine, self.cpu_clock, l1_config, l1_downstream, tracer=tracer,
+                telemetry=telemetry,
+            )
+            core = CpuCore(
+                engine, self.cpu_clock, core_id, l1, io_port=self.bridge,
+                telemetry=telemetry,
+            )
             self.apic.register_core(core_id, lambda pkt, c=core: c.wake())
             self.l1s.append(l1)
             self.cores.append(core)
@@ -150,6 +178,7 @@ class PardServer:
             engine, inventory,
             reaction_latency_ps=config.firmware_reaction_ps,
             tracer=tracer,
+            telemetry=telemetry,
         )
 
     # -- operation ----------------------------------------------------------
@@ -159,6 +188,8 @@ class PardServer:
         for plane in self.control_planes:
             plane.start_windows()
         self.nic.control.start_windows()
+        if self.telemetry is not None:
+            self.telemetry.start_periodic_snapshots(self.engine)
 
     def run_ms(self, milliseconds: float) -> int:
         """Advance the machine; returns the number of events executed."""

@@ -1,0 +1,38 @@
+"""repro.telemetry: metrics registry, packet-lifecycle spans, exporters,
+and engine self-profiling for the simulated PARD machine.
+
+See DESIGN.md ("Observability") for the instrument naming scheme,
+sampling rules, and the overhead budget this layer is held to.
+"""
+
+from .registry import Counter, Gauge, Histogram, Instrument, MetricsRegistry
+from .spans import Span, SpanRecorder
+from .exporters import (
+    chrome_trace_events,
+    metrics_rows,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .hub import Telemetry, effective
+from .profiler import ProfiledEngine
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "ProfiledEngine",
+    "chrome_trace_events",
+    "metrics_rows",
+    "prometheus_text",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "effective",
+]

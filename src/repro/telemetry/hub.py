@@ -1,0 +1,121 @@
+"""The Telemetry hub: one object bundling registry, spans and snapshots.
+
+Components receive the hub (or ``None``) at construction and normalize::
+
+    self.telemetry = telemetry if (telemetry is not None and telemetry.enabled) else None
+
+so every hot-path guard is a single ``is None`` check and a disabled hub
+costs exactly as much as no hub at all. The hub owns:
+
+* ``registry`` -- the :class:`MetricsRegistry` all components share,
+* ``spans`` -- the :class:`SpanRecorder` (deterministic 1-in-N sampling),
+* periodic metric snapshots (scheduled on the sim engine, labelled with
+  the current run so multi-point sweeps like fig8 stay distinguishable),
+* export helpers for the CLI (``--metrics-out`` / ``--trace-out``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .exporters import (
+    metrics_rows,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .registry import MetricsRegistry
+from .spans import SpanRecorder
+
+DEFAULT_SPAN_SAMPLE = 100  # 1-in-100 eligible packets
+DEFAULT_SPAN_CAPACITY = 10_000
+
+
+class Telemetry:
+    """Shared telemetry context for one simulated machine (or sweep)."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        span_sample: int = DEFAULT_SPAN_SAMPLE,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        snapshot_period_ms: float = 1.0,
+        profile_engine: bool = False,
+    ):
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(sample_every=span_sample, capacity=span_capacity)
+        self.snapshot_period_ms = snapshot_period_ms
+        self.profile_engine = profile_engine
+        self.snapshots: list[dict] = []
+        self.run_label = ""
+
+    # -- run labelling -------------------------------------------------------
+
+    def begin_run(self, label: str) -> None:
+        """Label subsequent snapshots (one sweep point = one label)."""
+        self.run_label = label
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, t_ps: int) -> dict:
+        """Record the current value of every instrument at sim time t_ps."""
+        snap = {
+            "t_ps": t_ps,
+            "t_ms": t_ps / 1e9,
+            "run": self.run_label,
+            "metrics": self.registry.snapshot(),
+        }
+        self.snapshots.append(snap)
+        return snap
+
+    def start_periodic_snapshots(self, engine) -> None:
+        """Schedule recurring snapshots on ``engine`` until it stops running.
+
+        Uses the allocation-free ``post`` path; the chain ends naturally
+        when the bounded run finishes (a trailing event past ``until_ps``
+        stays queued and is simply never dispatched in this process).
+        """
+        if not self.enabled or self.snapshot_period_ms <= 0:
+            return
+        period_ps = int(self.snapshot_period_ms * 1e9)
+
+        def tick() -> None:
+            self.snapshot(engine.now)
+            engine.post(period_ps, tick)
+
+        engine.post(period_ps, tick)
+
+    # -- exports -------------------------------------------------------------
+
+    def final_snapshot(self, engine=None) -> dict:
+        return self.snapshot(engine.now if engine is not None else 0)
+
+    def export_metrics_jsonl(self, path: str) -> int:
+        """Write all snapshots as flat JSONL rows; returns the row count."""
+        return write_jsonl(metrics_rows(self.snapshots), path)
+
+    def export_chrome_trace(self, path: str) -> int:
+        """Write finished spans as a Chrome trace; returns the event count."""
+        return write_chrome_trace(self.spans.finished, path)
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.registry)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Telemetry({state}, {len(self.registry)} instruments, "
+            f"{len(self.spans)} spans, {len(self.snapshots)} snapshots)"
+        )
+
+
+def effective(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Normalize a telemetry argument: disabled hubs become None.
+
+    Components call this once in their constructor so their hot paths
+    only ever test ``self.telemetry is None``.
+    """
+    if telemetry is not None and telemetry.enabled:
+        return telemetry
+    return None

@@ -1,0 +1,178 @@
+"""Engine self-profiling: where does the simulator's wall-clock time go.
+
+:class:`ProfiledEngine` subclasses the calendar-queue :class:`Engine`
+and duplicates its run loop with ``time.perf_counter_ns()`` sampling
+around every callback. Costs are attributed to the callback's owner --
+a bound method's ``__self__`` (preferring its ``.name`` attribute, which
+all simulated components carry) falling back to ``__qualname__`` -- so
+the report reads "62% of wall time is Cache._lookup on llc".
+
+It also tracks bucket occupancy (events per distinct timestamp), the
+statistic the calendar queue's speedup over the heap reference depends
+on: if occupancy drops toward 1, the calendar queue degenerates.
+
+Profiling changes only wall-clock accounting, never simulated ordering:
+the dispatch order is identical to :class:`Engine`, so golden
+determinism digests are unaffected. The subclass registers itself as
+engine kind ``"profiled"`` (telemetry imports sim, never the reverse,
+so this avoids an import cycle).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Optional
+
+from repro.sim.engine import ENGINE_KINDS, Engine, SimulationError
+from repro.sim.engine import _Event  # dispatch-loop type check, as in Engine.run
+
+
+def _owner_of(callback) -> str:
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", None)
+        if isinstance(name, str) and name:
+            return name
+        return type(owner).__name__
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+class ProfiledEngine(Engine):
+    """Calendar-queue engine with per-callback wall-clock attribution."""
+
+    kind = "profiled"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # owner -> [calls, total_ns]
+        self.callback_ns: dict[str, list[int]] = {}
+        self.buckets_drained = 0
+        self.bucket_events = 0
+        self.max_bucket = 0
+        self.wall_ns = 0
+
+    def run(self, until_ps: Optional[int] = None) -> int:
+        # Mirrors Engine.run exactly, adding perf_counter_ns sampling
+        # around each callback. Keep the two loops in sync.
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        times = self._times
+        buckets = self._buckets
+        event_class = _Event
+        perf = time.perf_counter_ns
+        stats = self.callback_ns
+        run_start = perf()
+        try:
+            while times and not self._stopped:
+                time_ps = times[0]
+                if until_ps is not None and time_ps > until_ps:
+                    break
+                bucket = buckets[time_ps]
+                if self._pos:
+                    bucket = bucket[self._pos:]
+                    buckets[time_ps] = bucket
+                    self._pos = 0
+                self._now = time_ps
+                i = 0
+                for entry in bucket:
+                    i += 1
+                    self._queued -= 1
+                    if entry.__class__ is event_class:
+                        if entry.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        entry.done = True
+                        entry = entry.callback
+                    owner = _owner_of(entry)
+                    t0 = perf()
+                    entry()
+                    dt = perf() - t0
+                    cell = stats.get(owner)
+                    if cell is None:
+                        stats[owner] = [1, dt]
+                    else:
+                        cell[0] += 1
+                        cell[1] += dt
+                    executed += 1
+                    if self._stopped:
+                        break
+                if i < len(bucket):
+                    self._pos = i
+                    break
+                self.buckets_drained += 1
+                self.bucket_events += i
+                if i > self.max_bucket:
+                    self.max_bucket = i
+                del buckets[time_ps]
+                heapq.heappop(times)
+        finally:
+            self._running = False
+            self.executed_total += executed
+            self.wall_ns += perf() - run_start
+        if until_ps is not None and self._now < until_ps and not self._stopped:
+            self._now = until_ps
+        return executed
+
+    # -- report --------------------------------------------------------------
+
+    @property
+    def mean_bucket_occupancy(self) -> float:
+        if not self.buckets_drained:
+            return 0.0
+        return self.bucket_events / self.buckets_drained
+
+    def report(self, top: int = 12) -> dict:
+        """Profile summary: totals, bucket occupancy, top owners by time."""
+        ranked = sorted(
+            self.callback_ns.items(), key=lambda kv: kv[1][1], reverse=True
+        )
+        callback_total_ns = sum(cell[1] for _, cell in ranked)
+        owners = [
+            {
+                "owner": owner,
+                "calls": calls,
+                "total_ns": total_ns,
+                "mean_ns": total_ns / calls if calls else 0.0,
+                "share": (total_ns / callback_total_ns) if callback_total_ns else 0.0,
+            }
+            for owner, (calls, total_ns) in ranked[:top]
+        ]
+        events_per_sec = (
+            self.executed_total / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+        )
+        return {
+            "events_executed": self.executed_total,
+            "wall_s": self.wall_ns / 1e9,
+            "events_per_sec": events_per_sec,
+            "callback_ns_total": callback_total_ns,
+            "dispatch_overhead_ns": max(0, self.wall_ns - callback_total_ns),
+            "buckets_drained": self.buckets_drained,
+            "mean_bucket_occupancy": self.mean_bucket_occupancy,
+            "max_bucket_occupancy": self.max_bucket,
+            "owners": owners,
+        }
+
+    def format_report(self, top: int = 12) -> str:
+        rep = self.report(top=top)
+        lines = [
+            f"events={rep['events_executed']} wall={rep['wall_s']:.3f}s "
+            f"({rep['events_per_sec']:,.0f} ev/s)",
+            f"bucket occupancy mean={rep['mean_bucket_occupancy']:.2f} "
+            f"max={rep['max_bucket_occupancy']} "
+            f"(buckets drained={rep['buckets_drained']})",
+            f"dispatch overhead={rep['dispatch_overhead_ns'] / 1e6:.1f}ms of "
+            f"{rep['wall_s'] * 1e3:.1f}ms",
+        ]
+        for row in rep["owners"]:
+            lines.append(
+                f"  {row['share']:6.1%}  {row['owner']:<28s} "
+                f"calls={row['calls']:<9d} mean={row['mean_ns']:.0f}ns"
+            )
+        return "\n".join(lines)
+
+
+ENGINE_KINDS.setdefault("profiled", ProfiledEngine)

@@ -44,6 +44,8 @@ class MemcachedServer(Workload):
         arrivals_until_ps: Optional[int] = None,
         max_queue: int = 4096,
         rng: DeterministicRng | None = None,
+        telemetry=None,
+        ds_id: int = 0,
     ):
         super().__init__(rng=rng or DeterministicRng(23, name="memcached"))
         if rps <= 0:
@@ -68,6 +70,21 @@ class MemcachedServer(Workload):
         self.requests_dropped = 0
         self._arrivals_started = False
         self._interarrival_ps = PS_PER_MS * 1000.0 / rps  # mean, in ps
+        self.telemetry = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+        self._latency_hist = None
+        if self.telemetry is not None:
+            prefix = f"workload.memcached.ds{ds_id}"
+            reg = self.telemetry.registry
+            reg.gauge_fn(f"{prefix}.arrived", lambda: self.requests_arrived)
+            reg.gauge_fn(f"{prefix}.served", lambda: self.requests_served)
+            reg.gauge_fn(f"{prefix}.dropped", lambda: self.requests_dropped)
+            reg.gauge_fn(f"{prefix}.queue_depth", lambda: len(self.queue))
+            # Response time in ms: 1 us .. ~16 ms in log-spaced buckets.
+            self._latency_hist = reg.histogram(
+                f"{prefix}.response_ms", start=0.001, growth=2.0, count=15
+            )
 
     # -- client (arrival process) ---------------------------------------------
 
@@ -120,6 +137,8 @@ class MemcachedServer(Workload):
             if arrived_at >= self.warmup_ps:
                 latency_ms = (self.engine.now - arrived_at) / PS_PER_MS
                 self.latencies.record(latency_ms)
+                if self._latency_hist is not None:
+                    self._latency_hist.record(latency_ms)
         return complete
 
     # -- results ---------------------------------------------------------------------

@@ -92,3 +92,38 @@ class TestStatisticsMonitor:
         _, fw, _, _ = make_monitored_server()
         with pytest.raises(ValueError):
             StatisticsMonitor(fw, period_ps=0)
+
+    def test_remove_probe_unknown_name_is_descriptive(self):
+        _, fw, ldom, monitor = make_monitored_server()
+        monitor.add_probe(
+            "missrate", f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/miss_rate"
+        )
+        with pytest.raises(ValueError, match=r"no probe named 'ghost'.*missrate"):
+            monitor.remove_probe("ghost")
+        monitor.remove_probe("missrate")
+        assert monitor.probes == {}
+
+    def test_fractional_readings_survive_as_floats(self):
+        server, fw, ldom, monitor = make_monitored_server()
+        fw.sysfs.add_file("/log/frac", read_handler=lambda: "2.75")
+        series = monitor.add_probe("frac", "/log/frac")
+        monitor.start()
+        server.run_ms(1.5)
+        assert series.values == [2.75]
+        assert series.latest() == 2.75
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        from repro.telemetry.exporters import read_jsonl
+
+        server, fw, ldom, monitor = make_monitored_server()
+        path = f"/sys/cpa/cpa0/ldoms/ldom{ldom.ds_id}/statistics/capacity"
+        series = monitor.add_probe("capacity", path)
+        monitor.start()
+        server.run_ms(2.5)
+        out = str(tmp_path / "probes.jsonl")
+        assert monitor.export_jsonl(out) == len(series.values) == 2
+        rows = read_jsonl(out)
+        assert rows[0]["probe"] == "capacity"
+        assert rows[0]["path"] == path
+        assert rows[0]["t_ms"] == pytest.approx(1.0)
+        assert [r["value"] for r in rows] == series.values

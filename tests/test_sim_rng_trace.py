@@ -100,6 +100,29 @@ class TestTracer:
             tracer.emit(i, "s", "e")
         assert len(tracer) == 2
 
+    def test_capacity_keeps_most_recent_and_counts_drops(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(i, "s", "e")
+        # Ring semantics: the newest records survive, evictions counted.
+        assert [r.time_ps for r in tracer.records] == [3, 4]
+        assert tracer.dropped == 3
+
+    def test_unbounded_tracer_never_drops(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.emit(i, "s", "e")
+        assert tracer.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit(1, "s", "e")
+        tracer.emit(2, "s", "e")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer) == 0
+
     def test_disabled_tracer_drops(self):
         tracer = Tracer(enabled=False)
         tracer.emit(1, "s", "e")

@@ -55,6 +55,16 @@ class TestLatencyRecorder:
         assert rec.percentile(95) == 0.0
         assert rec.cdf() == []
 
+    def test_empty_recorder_extremes_are_none(self):
+        # None, not 0.0: "no samples" must be distinguishable from a
+        # recorded zero-latency sample.
+        rec = LatencyRecorder()
+        assert rec.min is None
+        assert rec.max is None
+        rec.record(0.0)
+        assert rec.min == 0.0
+        assert rec.max == 0.0
+
     def test_mean_and_extremes(self):
         rec = LatencyRecorder()
         rec.extend([1.0, 2.0, 3.0, 10.0])

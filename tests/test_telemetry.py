@@ -1,0 +1,382 @@
+"""Tests for the unified telemetry layer.
+
+Covers the metrics registry (typed instruments, get-or-create, hooks),
+histogram bucket boundaries, span lifecycle under deterministic sampling,
+exporter round-trips (JSONL, Chrome trace, Prometheus text), the
+disabled-telemetry no-op paths, and the firmware's ``/sys/telemetry``
+mirror on a live machine.
+"""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.prm.sysfs import SysfsError
+from repro.system.server import PardServer
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    SpanRecorder,
+    Telemetry,
+    chrome_trace_events,
+    effective,
+    metrics_rows,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("llc.ds1.misses")
+        b = reg.counter("llc.ds1.misses")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(TypeError):
+            reg.gauge("x.y")
+        with pytest.raises(TypeError):
+            reg.histogram("x.y")
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".lead", "trail.", "a..b", "a/b", "a b", "a\tb"]
+    )
+    def test_bad_names_rejected(self, bad):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter(bad)
+
+    def test_counter_is_monotonic(self):
+        c = MetricsRegistry().counter("c")
+        c.add()
+        c.add(4)
+        assert c.value() == 5
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_gauge_direct_and_callback(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("direct")
+        g.set(3.5)
+        assert g.value() == 3.5
+        backing = {"v": 7}
+        fn = reg.gauge_fn("cb", lambda: backing["v"])
+        assert fn.value() == 7
+        backing["v"] = 9
+        assert fn.value() == 9
+        with pytest.raises(ValueError):
+            fn.set(1.0)
+
+    def test_gauge_fn_rebinding_repoints_callback(self):
+        reg = MetricsRegistry()
+        reg.gauge_fn("g", lambda: 1)
+        g = reg.gauge_fn("g", lambda: 2)
+        assert g.value() == 2
+        assert len(reg) == 1
+
+    def test_hooks_replay_and_fire_on_remove(self):
+        reg = MetricsRegistry()
+        reg.counter("before")
+        registered, removed = [], []
+        reg.on_register(lambda inst: registered.append(inst.name))
+        reg.on_remove(lambda inst: removed.append(inst.name))
+        assert registered == ["before"]  # existing instruments replayed
+        reg.counter("after")
+        assert registered == ["before", "after"]
+        assert reg.remove("before")
+        assert removed == ["before"]
+        assert not reg.remove("before")  # already gone
+
+    def test_find_respects_hierarchy(self):
+        reg = MetricsRegistry()
+        reg.counter("llc.ds1.misses")
+        reg.counter("llc.ds2.misses")
+        reg.counter("llcx.other")
+        assert [i.name for i in reg.find("llc")] == [
+            "llc.ds1.misses", "llc.ds2.misses",
+        ]
+
+    def test_snapshot_maps_names_to_values(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(2)
+        reg.gauge("b").set(1.5)
+        snap = reg.snapshot()
+        assert snap["a"] == 2
+        assert snap["b"] == 1.5
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_log_spaced_and_inclusive(self):
+        h = Histogram("h", start=1.0, growth=2.0, count=3)
+        assert h.bounds == [1.0, 2.0, 4.0]
+        # A value exactly on a bound lands in that bucket (le semantics).
+        h.record(1.0)
+        h.record(2.0)
+        h.record(4.0)
+        assert h.counts == [1, 1, 1, 0]
+        h.record(1.5)   # (1, 2]
+        h.record(100.0)  # overflow
+        assert h.counts == [1, 2, 1, 1]
+
+    def test_cumulative_buckets_prometheus_style(self):
+        h = Histogram("h", start=1.0, growth=2.0, count=3)
+        for v in (0.5, 1.5, 3.0, 99.0):
+            h.record(v)
+        assert h.buckets() == [(1.0, 1), (2.0, 2), (4.0, 3), (math.inf, 4)]
+
+    def test_empty_histogram_min_max_are_none(self):
+        h = Histogram("h")
+        assert h.min is None
+        assert h.max is None
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_running_stats(self):
+        h = Histogram("h", start=1.0, growth=2.0, count=4)
+        for v in (1.0, 3.0, 8.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.mean == 4.0
+        assert h.min == 1.0
+        assert h.max == 8.0
+
+    def test_quantile_upper_bound_approximation(self):
+        h = Histogram("h", start=1.0, growth=2.0, count=4)
+        for _ in range(99):
+            h.record(1.0)
+        h.record(7.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 8.0  # bucket upper bound containing max
+
+    def test_bad_parameters_rejected(self):
+        for kwargs in ({"start": 0}, {"growth": 1.0}, {"count": 0}):
+            with pytest.raises(ValueError):
+                Histogram("h", **kwargs)
+
+
+class TestSpans:
+    def test_sampling_is_counter_based_every_nth(self):
+        rec = SpanRecorder(sample_every=3)
+        results = [rec.maybe_start(1, i) for i in range(7)]
+        picked = [r is not None for r in results]
+        assert picked == [True, False, False, True, False, False, True]
+        assert rec.seen == 7
+        assert rec.started == 3
+
+    def test_sample_every_one_records_everything(self):
+        rec = SpanRecorder(sample_every=1)
+        assert all(rec.maybe_start(0, i) is not None for i in range(5))
+
+    def test_span_lifecycle_hops_and_durations(self):
+        span = Span(ds_id=2, packet_id=7)
+        span.hop("core0.issue", 1_000)
+        span.hop("l1d0.miss", 1_500)
+        span.hop("memctrl.complete", 9_000)
+        assert span.start_ps == 1_000
+        assert span.end_ps == 9_000
+        assert span.duration_ps == 8_000
+        assert span.hop_durations() == [
+            ("core0.issue->l1d0.miss", 500),
+            ("l1d0.miss->memctrl.complete", 7_500),
+        ]
+
+    def test_capacity_keeps_most_recent_and_counts_drops(self):
+        rec = SpanRecorder(sample_every=1, capacity=2)
+        for i in range(5):
+            span = rec.maybe_start(0, i)
+            span.hop("a", i)
+            rec.finish(span)
+        assert len(rec) == 2
+        assert [s.packet_id for s in rec.finished] == [3, 4]
+        assert rec.dropped == 3
+
+    def test_per_dsid_query_and_hop_stats(self):
+        rec = SpanRecorder(sample_every=1)
+        for ds_id, delay in ((1, 100), (1, 300), (2, 50)):
+            span = rec.maybe_start(ds_id, delay)
+            span.hop("issue", 0)
+            span.hop("done", delay)
+            rec.finish(span)
+        assert len(rec.for_dsid(1)) == 2
+        stats = rec.hop_stats(ds_id=1)
+        assert stats["issue->done"] == {
+            "count": 2, "mean_ps": 200.0, "max_ps": 300,
+        }
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        buf = io.StringIO()
+        assert write_jsonl(rows, buf) == 2
+        assert read_jsonl(io.StringIO(buf.getvalue())) == rows
+
+    def test_metrics_rows_flatten_snapshots(self):
+        snaps = [{"t_ps": 5, "run": "r", "metrics": {"m1": 1, "m2": 2.5}}]
+        rows = list(metrics_rows(snaps))
+        assert rows == [
+            {"t_ps": 5, "run": "r", "metric": "m1", "value": 1},
+            {"t_ps": 5, "run": "r", "metric": "m2", "value": 2.5},
+        ]
+
+    def _span(self, ds_id=1, packet_id=3):
+        span = Span(ds_id, packet_id)
+        span.hop("issue", 2_000_000)
+        span.hop("hit", 3_000_000)
+        return span
+
+    def test_chrome_trace_events_structure(self):
+        events = chrome_trace_events([self._span()])
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["args"]["name"] == "ds1"
+        parent = slices[0]
+        assert parent["pid"] == 1 and parent["tid"] == 3
+        assert parent["ts"] == 2.0 and parent["dur"] == 1.0  # ps -> us
+        assert parent["args"]["hops_ps"] == [["issue", 2_000_000], ["hit", 3_000_000]]
+        segment = slices[1]
+        assert segment["name"] == "issue->hit"
+
+    def test_single_hop_spans_are_skipped(self):
+        span = Span(1, 1)
+        span.hop("only", 10)
+        assert chrome_trace_events([span]) == []
+
+    def test_chrome_trace_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        n = write_chrome_trace([self._span()], path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert len(doc["traceEvents"]) == n
+        assert doc["displayTimeUnit"] == "ns"
+
+    def test_prometheus_text_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("prm.triggers-fired").add(2)
+        reg.gauge("llc.ds1.miss_rate").set(0.25)
+        h = reg.histogram("dram.qdelay", start=1.0, growth=2.0, count=2)
+        h.record(1.5)
+        text = prometheus_text(reg)
+        assert "# TYPE prm_triggers_fired counter" in text
+        assert "prm_triggers_fired 2" in text
+        assert "llc_ds1_miss_rate 0.25" in text
+        assert 'dram_qdelay_bucket{le="1.0"} 0' in text
+        assert 'dram_qdelay_bucket{le="2.0"} 1' in text
+        assert 'dram_qdelay_bucket{le="+Inf"} 1' in text
+        assert "dram_qdelay_count 1" in text
+
+
+class TestDisabledTelemetry:
+    def test_effective_normalizes_disabled_to_none(self):
+        assert effective(None) is None
+        assert effective(Telemetry(enabled=False)) is None
+        enabled = Telemetry()
+        assert effective(enabled) is enabled
+
+    def test_components_normalize_disabled_hub(self):
+        disabled = Telemetry(enabled=False)
+        server = PardServer(telemetry=disabled)
+        assert server.telemetry is None
+        assert server.llc.telemetry is None
+        assert server.cores[0].telemetry is None
+        assert server.firmware.telemetry is None
+        assert len(disabled.registry) == 0
+        assert not server.firmware.sysfs.exists("/sys/telemetry")
+
+    def test_disabled_hub_records_nothing_during_a_run(self):
+        disabled = Telemetry(enabled=False)
+        server = PardServer(telemetry=disabled)
+        server.start()
+        server.run_ms(0.05)
+        assert disabled.snapshots == []
+        assert len(disabled.spans) == 0
+
+    def test_periodic_snapshots_noop_when_disabled(self):
+        hub = Telemetry(enabled=False)
+        server = PardServer()
+        hub.start_periodic_snapshots(server.engine)
+        assert server.engine.pending_events == 0
+
+
+class TestHub:
+    def test_snapshots_carry_run_label_and_time(self):
+        hub = Telemetry()
+        hub.registry.counter("c").add(3)
+        hub.begin_run("pointA")
+        snap = hub.snapshot(2_000_000_000)
+        assert snap["run"] == "pointA"
+        assert snap["t_ms"] == 2.0
+        assert snap["metrics"]["c"] == 3
+
+    def test_export_metrics_jsonl(self, tmp_path):
+        hub = Telemetry()
+        hub.registry.gauge("g").set(1.0)
+        hub.snapshot(0)
+        hub.snapshot(1_000_000_000)
+        path = str(tmp_path / "m.jsonl")
+        assert hub.export_metrics_jsonl(path) == 2
+        rows = read_jsonl(path)
+        assert {r["t_ms"] for r in rows} == {0.0, 1.0}
+
+
+@pytest.fixture(scope="module")
+def telemetered_server():
+    """A small machine run with every packet sampled."""
+    hub = Telemetry(span_sample=1, snapshot_period_ms=0.05)
+    server = PardServer(telemetry=hub)
+    ldom = server.firmware.create_ldom("ld0", (0,), 64 << 20)
+    from repro.workloads.stream import Stream
+
+    server.start()
+    server.firmware.launch_ldom("ld0", {0: Stream(array_bytes=1 << 20)})
+    server.run_ms(0.2)
+    return server, hub, ldom
+
+
+class TestLiveMachine:
+    def test_spans_cover_the_memory_path(self, telemetered_server):
+        server, hub, ldom = telemetered_server
+        spans = hub.spans.for_dsid(ldom.ds_id)
+        assert spans, "sampled packets should finish spans"
+        span = max(spans, key=lambda s: len(s.hops))
+        names = [name for name, _ in span.hops]
+        assert names[0] == "core0.issue"
+        assert names[-1] == "core0.response"
+        times = [t for _, t in span.hops]
+        assert times == sorted(times), "hop timestamps must be monotonic"
+
+    def test_periodic_snapshots_taken(self, telemetered_server):
+        _server, hub, _ldom = telemetered_server
+        assert len(hub.snapshots) >= 3
+        # Callback gauges read live component counters at snapshot time.
+        assert hub.snapshots[-1]["metrics"]["cache.llc.misses"] > 0
+
+    def test_sysfs_mirror_serves_live_values(self, telemetered_server):
+        server, hub, ldom = telemetered_server
+        fw = server.firmware
+        listing = fw.ls("/sys/telemetry")
+        assert "export" in listing and "llc" in listing
+        misses = float(fw.cat(f"/sys/telemetry/llc/ds{ldom.ds_id}/misses"))
+        assert misses >= 0
+        assert "# TYPE" in fw.cat("/sys/telemetry/export")
+
+    def test_ldom_metrics_removed_on_destroy(self, telemetered_server):
+        server, hub, ldom = telemetered_server
+        prefix = f"llc.ds{ldom.ds_id}"
+        assert hub.registry.find(prefix)
+        server.firmware.destroy_ldom("ld0")
+        assert not hub.registry.find(prefix)
+        with pytest.raises(SysfsError):
+            server.firmware.cat(f"/sys/telemetry/llc/ds{ldom.ds_id}/misses")
