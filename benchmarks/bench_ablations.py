@@ -3,51 +3,102 @@
 Not a paper figure -- these isolate the contribution of individual PARD
 mechanisms: way-partition share, the extra high-priority row buffer,
 and the statistics-window length that paces trigger reaction time.
+
+Each ablation grid runs through ``repro.runner.run_sweep``, so setting
+``REPRO_BENCH_JOBS=4`` fans the points out over a process pool; the
+default (1) keeps the exact serial behaviour and results are identical
+either way.
 """
+
+import os
+from dataclasses import asdict
 
 from conftest import banner
 
 from repro.analysis.tables import format_table
+from repro.runner import SweepPoint, run_sweep
+from repro.system.experiments import ColocationSetup, measure_saturation_rate
 
-from repro.system.experiments import (
-    ColocationSetup,
-    _drive_controller,
-    measure_saturation_rate,
-    run_fig9,
-)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 
 def ablate_partition_share():
     """Fig. 8's mechanism at different dedicated shares."""
-    rows = []
-    for share in (0.25, 0.5):
-        setup = ColocationSetup(partition_share=share, warmup_ms=1.0)
-        timeline = run_fig9(rps=300_000, setup=setup, total_ms=4.0, sample_ms=0.5)
-        rows.append((share, timeline.miss_rates[-1], timeline.final_waymask))
-    return rows
+    shares = (0.25, 0.5)
+    points = [
+        SweepPoint(
+            index=i,
+            builder="fig9",
+            params={
+                "rps": 300_000,
+                "setup": asdict(ColocationSetup(partition_share=share, warmup_ms=1.0)),
+                "total_ms": 4.0,
+                "sample_ms": 0.5,
+            },
+            label=f"share={share}",
+        )
+        for i, share in enumerate(shares)
+    ]
+    sweep = run_sweep(points, jobs=JOBS)
+    sweep.raise_on_failure()
+    return [
+        (share, timeline.miss_rates[-1], timeline.final_waymask)
+        for share, timeline in zip(shares, sweep.values())
+    ]
 
 
 def ablate_hp_row_buffer():
     """Fig. 11's mechanism with and without the extra row buffer."""
     saturation = measure_saturation_rate(num_requests=2000)
     rate = 0.75 * saturation
-    results = []
-    for hp_row_buffer in (False, True):
-        controller = _drive_controller(
-            True, rate, 4000, seed=7, row_hit_fraction=0.5,
-            hp_row_buffer=hp_row_buffer,
+    flags = (False, True)
+    points = [
+        SweepPoint(
+            index=i,
+            builder="fig11_controller",
+            params={
+                "with_control_plane": True,
+                "rate_req_per_cycle": rate,
+                "num_requests": 4000,
+                "row_hit_fraction": 0.5,
+                "hp_row_buffer": hp_row_buffer,
+            },
+            seed=7,
+            label=f"hp_row_buffer={hp_row_buffer}",
         )
-        results.append((hp_row_buffer, controller.queue_delay[1].mean,
-                        controller.queue_delay[0].mean))
-    return results
+        for i, hp_row_buffer in enumerate(flags)
+    ]
+    sweep = run_sweep(points, jobs=JOBS)
+    sweep.raise_on_failure()
+    return [
+        (hp_row_buffer, stats["mean"][1], stats["mean"][0])
+        for hp_row_buffer, stats in zip(flags, sweep.values())
+    ]
 
 
 def ablate_window_length():
     """Trigger reaction time as a function of the statistics window."""
+    windows = (0.5, 1.0, 2.0)
+    points = [
+        SweepPoint(
+            index=i,
+            builder="fig9",
+            params={
+                "rps": 300_000,
+                "setup": asdict(
+                    ColocationSetup(warmup_ms=1.0, control_window_ms=window_ms)
+                ),
+                "total_ms": 6.0,
+                "sample_ms": 0.5,
+            },
+            label=f"window={window_ms}ms",
+        )
+        for i, window_ms in enumerate(windows)
+    ]
+    sweep = run_sweep(points, jobs=JOBS)
+    sweep.raise_on_failure()
     rows = []
-    for window_ms in (0.5, 1.0, 2.0):
-        setup = ColocationSetup(warmup_ms=1.0, control_window_ms=window_ms)
-        timeline = run_fig9(rps=300_000, setup=setup, total_ms=6.0, sample_ms=0.5)
+    for window_ms, timeline in zip(windows, sweep.values()):
         reaction = (
             timeline.trigger_time_ms - timeline.stream_start_ms
             if timeline.trigger_time_ms is not None else float("inf")

@@ -3,22 +3,31 @@
 Usage::
 
     python -m repro table2
-    python -m repro fig8 --loads 222000,333000,500000 --measure-ms 2.0
+    python -m repro fig8 --loads 222000,333000,500000 --measure-ms 2.0 --jobs 4
     python -m repro fig9
     python -m repro fig10
     python -m repro fig11 --inject 0.75
     python -m repro fig12
-    python -m repro all
+    python -m repro all --jobs 4
 
 Each subcommand builds the system, runs the experiment and prints the
 same rows/series the benchmark harness does; the benchmarks additionally
 assert the expected shapes.
+
+Grid-shaped subcommands (``fig8``, ``fig11``, ``all``) accept
+``--jobs N`` to fan independent simulation points out over N worker
+processes (default: all cores). Results and telemetry artifacts are
+merged by point index, so the output is byte-identical at any ``--jobs``
+value; ``--jobs 1`` is the exact serial path. ``all`` runs every figure
+even when one fails, prints a per-figure pass/fail summary, and exits
+nonzero only at the end.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import Optional, Sequence
 
 from repro.analysis.series import ascii_sparkline
@@ -30,8 +39,10 @@ from repro.hwcost.fpga import (
     tag_array_blockram_overhead,
     trigger_table_cost,
 )
+from repro.runner import SweepPoint, default_jobs, run_sweep
 from repro.system.config import TABLE2
 from repro.system.experiments import (
+    fig8_sweep_points,
     run_fig7,
     run_fig8,
     run_fig9,
@@ -51,6 +62,19 @@ def _add_telemetry_args(subparser: argparse.ArgumentParser) -> None:
                        help="record every Nth eligible packet (default 100)")
     group.add_argument("--metrics-every-ms", type=float, default=1.0,
                        help="snapshot period in sim ms (default 1.0)")
+
+
+def _add_jobs_arg(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent grid points "
+             "(default: all cores; 1 = exact serial path)",
+    )
+
+
+def _jobs_from(args) -> int:
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs is not None else default_jobs()
 
 
 def _telemetry_from(args) -> Optional[Telemetry]:
@@ -78,30 +102,18 @@ def _export_telemetry(telemetry: Optional[Telemetry], args) -> None:
         )
 
 
-def cmd_table2(_args) -> int:
-    print(format_table(["parameter", "value"], TABLE2.describe()))
-    return 0
+# -- per-figure result printers (shared by the subcommands and ``all``) ------
 
 
-def cmd_fig7(args) -> int:
-    telemetry = _telemetry_from(args)
-    timeline = run_fig7(phase_ms=args.phase_ms, telemetry=telemetry)
-    _export_telemetry(telemetry, args)
+def _print_fig7(timeline) -> None:
     for name, series in timeline.llc_occupancy_bytes.items():
         kb = [v / 1024 for v in series]
         print(f"{name:12s} LLC KB |{ascii_sparkline(kb)}| last={kb[-1]:.0f}")
     for when, what in timeline.events:
         print(f"  t={when:6.2f} ms  {what}")
-    return 0
 
 
-def cmd_fig8(args) -> int:
-    loads = [int(x) for x in args.loads.split(",")] if args.loads else None
-    telemetry = _telemetry_from(args)
-    results = run_fig8(
-        loads_rps=loads, measure_ms=args.measure_ms, telemetry=telemetry
-    )
-    _export_telemetry(telemetry, args)
+def _print_fig8(results) -> None:
     rows = [
         [r.mode, f"{r.paper_krps:.1f}", f"{r.p95_ms:.3f}", f"{r.mean_ms:.3f}",
          f"{r.cpu_utilization * 100:.0f}%", f"{(r.llc_miss_rate or 0) * 100:.1f}%",
@@ -112,40 +124,26 @@ def cmd_fig8(args) -> int:
         ["mode", "paper-KRPS", "p95 ms", "mean ms", "CPU util", "LLC miss", "trigger"],
         rows,
     ))
-    return 0
 
 
-def cmd_fig9(args) -> int:
-    telemetry = _telemetry_from(args)
-    timeline = run_fig9(rps=args.rps, total_ms=args.total_ms, telemetry=telemetry)
-    _export_telemetry(telemetry, args)
+def _print_fig9(timeline) -> None:
     for t, miss in zip(timeline.times_ms, timeline.miss_rates):
         marker = ""
         if timeline.trigger_time_ms is not None and abs(t - timeline.trigger_time_ms) < 0.25:
             marker = "  <-- trigger"
         print(f"t={t:6.2f} ms  miss={miss * 100:5.1f}%{marker}")
     print(f"final waymask: {timeline.final_waymask:#06x}")
-    return 0
 
 
-def cmd_fig10(args) -> int:
-    telemetry = _telemetry_from(args)
-    timeline = run_fig10(phase_ms=args.phase_ms, telemetry=telemetry)
-    _export_telemetry(telemetry, args)
+def _print_fig10(timeline) -> None:
     for i, t in enumerate(timeline.times_ms):
         a = timeline.bandwidth_share["ldom_a"][i] * 100
         b = timeline.bandwidth_share["ldom_b"][i] * 100
         print(f"t={t:7.1f} ms  LDom0={a:5.1f}%  LDom1={b:5.1f}%")
     print(f"quota change at t={timeline.quota_change_ms:.1f} ms")
-    return 0
 
 
-def cmd_fig11(args) -> int:
-    telemetry = _telemetry_from(args)
-    result = run_fig11(
-        inject_rate=args.inject, num_requests=args.requests, telemetry=telemetry
-    )
-    _export_telemetry(telemetry, args)
+def _print_fig11(result) -> None:
     print(format_table(
         ["configuration", "mean delay (cycles)"],
         [
@@ -156,6 +154,60 @@ def cmd_fig11(args) -> int:
                              f"({result.low_priority_slowdown_pct:+.1f}%)"],
         ],
     ))
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_table2(_args) -> int:
+    print(format_table(["parameter", "value"], TABLE2.describe()))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    telemetry = _telemetry_from(args)
+    timeline = run_fig7(phase_ms=args.phase_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
+    _print_fig7(timeline)
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    loads = [int(x) for x in args.loads.split(",")] if args.loads else None
+    telemetry = _telemetry_from(args)
+    results = run_fig8(
+        loads_rps=loads, measure_ms=args.measure_ms, telemetry=telemetry,
+        jobs=_jobs_from(args),
+    )
+    _export_telemetry(telemetry, args)
+    _print_fig8(results)
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    telemetry = _telemetry_from(args)
+    timeline = run_fig9(rps=args.rps, total_ms=args.total_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
+    _print_fig9(timeline)
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    telemetry = _telemetry_from(args)
+    timeline = run_fig10(phase_ms=args.phase_ms, telemetry=telemetry)
+    _export_telemetry(telemetry, args)
+    _print_fig10(timeline)
+    return 0
+
+
+def cmd_fig11(args) -> int:
+    telemetry = _telemetry_from(args)
+    result = run_fig11(
+        inject_rate=args.inject, num_requests=args.requests, telemetry=telemetry,
+        jobs=_jobs_from(args),
+    )
+    _export_telemetry(telemetry, args)
+    _print_fig11(result)
     return 0
 
 
@@ -181,12 +233,82 @@ def cmd_fig12(_args) -> int:
 
 
 def cmd_all(args) -> int:
-    for name in ("table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"):
+    """Every table and figure; simulation points fan out over ``--jobs``.
+
+    The compute-heavy figures become one sweep grid (Fig. 8 contributes
+    a point per mode x load; Figs. 7/9/10/11 one point each), so the
+    whole evaluation parallelizes across cores. Every figure runs even
+    when another fails; a per-figure pass/fail summary is printed at the
+    end and only then does a failure turn into a nonzero exit.
+    """
+    telemetry = _telemetry_from(args)
+
+    points = [SweepPoint(index=0, builder="fig7",
+                         params={"phase_ms": 1.0}, label="fig7")]
+    fig8_points = fig8_sweep_points(measure_ms=2.0, first_index=1)
+    points += fig8_points
+    base = 1 + len(fig8_points)
+    points.append(SweepPoint(index=base, builder="fig9",
+                             params={"rps": 300_000, "total_ms": 5.0},
+                             label="fig9"))
+    points.append(SweepPoint(index=base + 1, builder="fig10",
+                             params={"phase_ms": 160.0}, label="fig10"))
+    points.append(SweepPoint(index=base + 2, builder="fig11",
+                             params={"inject_rate": 0.75, "num_requests": 6000},
+                             seed=7, label="fig11"))
+    sweep = run_sweep(
+        points, jobs=_jobs_from(args), telemetry=telemetry, progress=True
+    )
+    by_index = {pr.index: pr for pr in sweep.points}
+    statuses: list[tuple[str, bool, str]] = []
+
+    def banner(name: str) -> None:
         print(f"\n=== {name} " + "=" * (60 - len(name)))
-        status = main([name])
-        if status:
-            return status
-    return 0
+
+    def run_local(name: str, fn) -> None:
+        """A figure computed in-process (cheap tables, no simulation)."""
+        banner(name)
+        try:
+            fn()
+            statuses.append((name, True, ""))
+        except Exception as exc:  # keep going; summary reports it
+            traceback.print_exc()
+            statuses.append((name, False, f"{type(exc).__name__}: {exc}"))
+
+    def figure(name: str, point_results, render) -> None:
+        banner(name)
+        failures = [pr for pr in point_results if not pr.ok]
+        if failures:
+            for pr in failures:
+                print(f"point {pr.label} failed:\n{pr.error}")
+            statuses.append(
+                (name, False,
+                 f"{len(failures)}/{len(point_results)} points failed")
+            )
+            return
+        try:
+            render([pr.value for pr in point_results])
+            statuses.append((name, True, ""))
+        except Exception as exc:
+            traceback.print_exc()
+            statuses.append((name, False, f"{type(exc).__name__}: {exc}"))
+
+    run_local("table2", lambda: cmd_table2(args))
+    figure("fig7", [by_index[0]], lambda v: _print_fig7(v[0]))
+    figure("fig8", [by_index[p.index] for p in fig8_points], _print_fig8)
+    figure("fig9", [by_index[base]], lambda v: _print_fig9(v[0]))
+    figure("fig10", [by_index[base + 1]], lambda v: _print_fig10(v[0]))
+    figure("fig11", [by_index[base + 2]], lambda v: _print_fig11(v[0]))
+    run_local("fig12", lambda: cmd_fig12(args))
+    _export_telemetry(telemetry, args)
+
+    banner("summary")
+    print(format_table(
+        ["figure", "status", "detail"],
+        [[name, "ok" if ok else "FAILED", detail]
+         for name, ok, detail in statuses],
+    ))
+    return 0 if all(ok for _name, ok, _detail in statuses) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -207,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--loads", type=str, default="",
                       help="comma-separated RPS values")
     fig8.add_argument("--measure-ms", type=float, default=2.0)
+    _add_jobs_arg(fig8)
     _add_telemetry_args(fig8)
     fig8.set_defaults(fn=cmd_fig8)
 
@@ -225,11 +348,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig11.add_argument("--inject", type=float, default=0.75,
                        help="fraction of measured saturation bandwidth")
     fig11.add_argument("--requests", type=int, default=6000)
+    _add_jobs_arg(fig11)
     _add_telemetry_args(fig11)
     fig11.set_defaults(fn=cmd_fig11)
 
     sub.add_parser("fig12", help="FPGA resource model").set_defaults(fn=cmd_fig12)
-    sub.add_parser("all", help="run everything").set_defaults(fn=cmd_all)
+
+    everything = sub.add_parser(
+        "all", help="run everything (figures keep going past failures)"
+    )
+    _add_jobs_arg(everything)
+    _add_telemetry_args(everything)
+    everything.set_defaults(fn=cmd_all)
     return parser
 
 

@@ -1,0 +1,32 @@
+"""repro.runner: parallel sweep execution for experiment grids.
+
+Expresses a grid as independent :class:`SweepPoint` jobs (picklable
+spec: builder name + params + explicit seed), fans them out over a
+process pool, and merges results -- values, metric registries, spans,
+snapshots -- deterministically by point index, so ``--jobs N`` output is
+byte-identical to serial. See DESIGN.md ("Parallel sweep execution").
+"""
+
+from .registry import builder_names, register_builder, resolve_builder
+from .sweep import (
+    PointResult,
+    SweepError,
+    SweepPoint,
+    SweepResult,
+    TelemetryConfig,
+    default_jobs,
+    run_sweep,
+)
+
+__all__ = [
+    "PointResult",
+    "SweepError",
+    "SweepPoint",
+    "SweepResult",
+    "TelemetryConfig",
+    "builder_names",
+    "default_jobs",
+    "register_builder",
+    "resolve_builder",
+    "run_sweep",
+]

@@ -22,6 +22,18 @@ MAX_DSID = 0xFFFF
 _packet_ids = itertools.count()
 
 
+def reset_packet_ids(start: int = 0) -> None:
+    """Restart the global packet-id counter (ids are telemetry-only).
+
+    The sweep runner calls this at the start of every point so a point's
+    span payload -- which embeds packet ids -- is a pure function of the
+    point's spec, not of what ran earlier in the process. Packet ids
+    never influence event scheduling, only span/trace identification.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(start)
+
+
 class MemOp(Enum):
     """Memory operation kinds seen by caches and the memory controller."""
 

@@ -45,6 +45,8 @@ from repro.workloads.stream import Stream
 # scaled requests). One paper-KRPS is PAPER_KRPS_SCALE of our RPS.
 PAPER_KRPS_SCALE = 500_000 / 22_500
 
+FIG8_DEFAULT_LOADS = [222_000, 333_000, 444_000, 500_000]
+
 
 @dataclass
 class ColocationSetup:
@@ -93,14 +95,17 @@ class ColocationResult:
 
 
 def _build_colocated_server(
-    setup: ColocationSetup, mode: str, rps: float, telemetry=None
+    setup: ColocationSetup, mode: str, rps: float, telemetry=None,
+    seed: Optional[int] = None,
 ) -> tuple[PardServer, MemcachedServer, int]:
     """Create the server, LDoms and workloads for one Fig. 8/9 run."""
     if mode not in ("solo", "shared", "trigger"):
         raise ValueError(f"unknown mode {mode!r}")
+    if seed is None:
+        seed = setup.seed
     server = PardServer(setup.config(), telemetry=telemetry)
     firmware = server.firmware
-    rng = DeterministicRng(setup.seed, name=f"{mode}-{rps}")
+    rng = DeterministicRng(seed, name=f"{mode}-{rps:g}")
     mc_ldom = firmware.create_ldom(
         "memcached", core_ids=(0,), memory_bytes=setup.ldom_memory_bytes,
         priority=setup.mc_priority,
@@ -154,13 +159,24 @@ def run_colocation_point(
     setup: Optional[ColocationSetup] = None,
     measure_ms: float = 2.5,
     telemetry=None,
+    seed: Optional[int] = None,
 ) -> ColocationResult:
-    """One (mode, load) point of Fig. 8."""
+    """One (mode, load) point of Fig. 8.
+
+    ``seed`` is the point's explicit workload seed (default:
+    ``setup.seed``). Every RNG the point uses derives from it inside
+    this call -- never from global or run-order state -- so the result
+    is identical whether the point runs first, last, serially or in a
+    worker process. Grid drivers deliberately give every point the same
+    root seed (common random numbers): the modes at one load then see
+    identical arrival/key streams, making the Fig. 8 curves paired
+    comparisons; pass distinct seeds for independent replications.
+    """
     setup = setup or ColocationSetup()
     if telemetry is not None:
         telemetry.begin_run(f"{mode}@{rps:g}rps")
     server, memcached, ds_id = _build_colocated_server(
-        setup, mode, rps, telemetry=telemetry
+        setup, mode, rps, telemetry=telemetry, seed=seed
     )
     total_ms = setup.warmup_ms + measure_ms
     server.run_ms(total_ms)
@@ -179,26 +195,64 @@ def run_colocation_point(
     )
 
 
+def fig8_sweep_points(
+    loads_rps: Optional[list[float]] = None,
+    modes: tuple[str, ...] = ("solo", "shared", "trigger"),
+    setup: Optional[ColocationSetup] = None,
+    measure_ms: float = 2.5,
+    first_index: int = 0,
+) -> list:
+    """The Fig. 8 mode x load grid as picklable sweep points."""
+    from dataclasses import asdict
+
+    from repro.runner.sweep import SweepPoint
+
+    setup = setup or ColocationSetup()
+    loads = loads_rps or FIG8_DEFAULT_LOADS
+    points = []
+    for i, (mode, rps) in enumerate(
+        (m, r) for m in modes for r in loads
+    ):
+        points.append(SweepPoint(
+            index=first_index + i,
+            builder="colocation_point",
+            params={
+                "mode": mode,
+                "rps": rps,
+                "setup": asdict(setup),
+                "measure_ms": measure_ms,
+            },
+            seed=setup.seed,
+            label=f"{mode}@{rps:g}rps",
+        ))
+    return points
+
+
 def run_fig8(
     loads_rps: Optional[list[float]] = None,
     modes: tuple[str, ...] = ("solo", "shared", "trigger"),
     setup: Optional[ColocationSetup] = None,
     measure_ms: float = 2.5,
     telemetry=None,
+    jobs: int = 1,
 ) -> list[ColocationResult]:
     """Fig. 8: tail response time vs offered load, for all three modes.
 
     The default loads correspond to the paper's 10 / 15 / 20 / 22.5 KRPS
-    x-axis points under the :data:`PAPER_KRPS_SCALE` mapping.
+    x-axis points under the :data:`PAPER_KRPS_SCALE` mapping. The grid
+    runs through the sweep runner: ``jobs=1`` executes the points
+    serially in this process, ``jobs=N`` fans them out over N worker
+    processes -- the returned list (and any merged telemetry) is
+    byte-identical either way, in grid order.
     """
-    loads = loads_rps or [222_000, 333_000, 444_000, 500_000]
-    return [
-        run_colocation_point(
-            mode, rps, setup=setup, measure_ms=measure_ms, telemetry=telemetry
-        )
-        for mode in modes
-        for rps in loads
-    ]
+    from repro.runner.sweep import run_sweep
+
+    points = fig8_sweep_points(
+        loads_rps=loads_rps, modes=modes, setup=setup, measure_ms=measure_ms
+    )
+    sweep = run_sweep(points, jobs=jobs, telemetry=telemetry)
+    sweep.raise_on_failure()
+    return sweep.values()
 
 
 @dataclass
@@ -541,6 +595,39 @@ def _drive_controller(
     return controller
 
 
+def run_fig11_controller_point(
+    with_control_plane: bool,
+    rate_req_per_cycle: float,
+    num_requests: int,
+    seed: int,
+    row_hit_fraction: float,
+    hp_row_buffer: bool,
+    telemetry=None,
+) -> dict:
+    """One Fig. 11 controller configuration, reduced to picklable stats.
+
+    Returns ``{"mean": {priority: cycles}, "cdf": {priority: [(x, frac)]}}``
+    -- the only parts of the driven :class:`MemoryController` the figure
+    needs, in a form a sweep worker can ship back to the parent.
+    """
+    controller = _drive_controller(
+        with_control_plane, rate_req_per_cycle, num_requests, seed,
+        row_hit_fraction, hp_row_buffer=hp_row_buffer, telemetry=telemetry,
+    )
+    if telemetry is not None:
+        telemetry.snapshot(controller.engine.now)
+    return {
+        "mean": {
+            priority: recorder.mean
+            for priority, recorder in enumerate(controller.queue_delay)
+        },
+        "cdf": {
+            priority: recorder.cdf(points=range(0, 101, 2))
+            for priority, recorder in enumerate(controller.queue_delay)
+        },
+    }
+
+
 def measure_saturation_rate(
     num_requests: int = 4000, seed: int = 7, row_hit_fraction: float = 0.5
 ) -> float:
@@ -559,6 +646,7 @@ def run_fig11(
     row_hit_fraction: float = 0.5,
     hp_row_buffer: bool = False,
     telemetry=None,
+    jobs: int = 1,
 ) -> QueueingResult:
     """Fig. 11: queueing delay CDF at a given bandwidth utilization.
 
@@ -576,31 +664,40 @@ def run_fig11(
     """
     if not 0 < inject_rate < 1:
         raise ValueError("inject_rate must be a fraction of peak bandwidth")
+    from repro.runner.sweep import SweepPoint, run_sweep
+
     saturation = measure_saturation_rate(
         num_requests=min(num_requests, 4000), seed=seed,
         row_hit_fraction=row_hit_fraction,
     )
     rate = inject_rate * saturation
-    if telemetry is not None:
-        telemetry.begin_run("fig11-baseline")
-    baseline = _drive_controller(
-        False, rate, num_requests, seed, row_hit_fraction, hp_row_buffer=False,
-        telemetry=telemetry,
-    )
-    if telemetry is not None:
-        telemetry.snapshot(baseline.engine.now)
-        telemetry.begin_run("fig11-pard")
-    pard = _drive_controller(
-        True, rate, num_requests, seed, row_hit_fraction, hp_row_buffer,
-        telemetry=telemetry,
-    )
-    if telemetry is not None:
-        telemetry.snapshot(pard.engine.now)
+    common = {
+        "rate_req_per_cycle": rate,
+        "num_requests": num_requests,
+        "row_hit_fraction": row_hit_fraction,
+    }
+    points = [
+        SweepPoint(
+            index=0, builder="fig11_controller",
+            params={**common, "with_control_plane": False,
+                    "hp_row_buffer": False},
+            seed=seed, label="fig11-baseline",
+        ),
+        SweepPoint(
+            index=1, builder="fig11_controller",
+            params={**common, "with_control_plane": True,
+                    "hp_row_buffer": hp_row_buffer},
+            seed=seed, label="fig11-pard",
+        ),
+    ]
+    sweep = run_sweep(points, jobs=jobs, telemetry=telemetry)
+    sweep.raise_on_failure()
+    baseline, pard = sweep.values()
     return QueueingResult(
-        baseline_mean_cycles=baseline.queue_delay[0].mean,
-        high_priority_mean_cycles=pard.queue_delay[1].mean,
-        low_priority_mean_cycles=pard.queue_delay[0].mean,
-        baseline_cdf=baseline.queue_delay[0].cdf(points=range(0, 101, 2)),
-        high_cdf=pard.queue_delay[1].cdf(points=range(0, 101, 2)),
-        low_cdf=pard.queue_delay[0].cdf(points=range(0, 101, 2)),
+        baseline_mean_cycles=baseline["mean"][0],
+        high_priority_mean_cycles=pard["mean"][1],
+        low_priority_mean_cycles=pard["mean"][0],
+        baseline_cdf=baseline["cdf"][0],
+        high_cdf=pard["cdf"][1],
+        low_cdf=pard["cdf"][0],
     )

@@ -5,7 +5,14 @@ See DESIGN.md ("Observability") for the instrument naming scheme,
 sampling rules, and the overhead budget this layer is held to.
 """
 
-from .registry import Counter, Gauge, Histogram, Instrument, MetricsRegistry
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+    merge_registry_dumps,
+)
 from .spans import Span, SpanRecorder
 from .exporters import (
     chrome_trace_events,
@@ -29,6 +36,7 @@ __all__ = [
     "Telemetry",
     "ProfiledEngine",
     "chrome_trace_events",
+    "merge_registry_dumps",
     "metrics_rows",
     "prometheus_text",
     "read_jsonl",

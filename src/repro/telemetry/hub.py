@@ -49,6 +49,7 @@ class Telemetry:
         self.profile_engine = profile_engine
         self.snapshots: list[dict] = []
         self.run_label = ""
+        self._span_id_base = 0  # next free packet id for merged worker spans
 
     # -- run labelling -------------------------------------------------------
 
@@ -85,6 +86,36 @@ class Telemetry:
             engine.post(period_ps, tick)
 
         engine.post(period_ps, tick)
+
+    # -- sweep worker transport ---------------------------------------------
+
+    def dump_payload(self) -> dict:
+        """The hub's full picklable state, for shipping out of a worker.
+
+        Contains the registry dump (callback gauges frozen to values),
+        every snapshot taken so far, and the span recorder's finished
+        spans + sampling counters.
+        """
+        return {
+            "registry": self.registry.dump(),
+            "snapshots": list(self.snapshots),
+            "spans": self.spans.dump(),
+        }
+
+    def merge_payload(self, payload: dict) -> None:
+        """Merge one worker hub's :meth:`dump_payload` into this hub.
+
+        Callers MUST merge payloads in ascending sweep-point index
+        order -- that order is what makes gauge last-write-wins, span id
+        rebasing and snapshot concatenation deterministic regardless of
+        how many workers ran the sweep. Span packet ids are rebased so
+        each merged point keeps a disjoint id range.
+        """
+        self.registry.merge_dump(payload["registry"])
+        self.snapshots.extend(payload["snapshots"])
+        self._span_id_base = self.spans.absorb(
+            payload["spans"], id_offset=self._span_id_base
+        )
 
     # -- exports -------------------------------------------------------------
 

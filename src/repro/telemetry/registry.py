@@ -285,8 +285,92 @@ class MetricsRegistry:
         """Current value of every instrument, by name."""
         return {name: inst.value() for name, inst in sorted(self._instruments.items())}
 
+    # -- serialization & merge (the sweep runner's transport) ---------------
+
+    def dump(self) -> dict[str, dict]:
+        """Full picklable state of every instrument, by name.
+
+        Callback gauges are evaluated at dump time and become plain
+        values: a dump is a frozen observation, not a live view.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out[name] = {"kind": "counter", "value": inst.value()}
+            elif isinstance(inst, Histogram):
+                out[name] = {
+                    "kind": "histogram",
+                    "bounds": list(inst.bounds),
+                    "counts": list(inst.counts),
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "min": inst.min,
+                    "max": inst.max,
+                }
+            elif isinstance(inst, Gauge):
+                out[name] = {"kind": "gauge", "value": inst.value()}
+        return out
+
+    def merge_dump(self, dump: dict[str, dict]) -> None:
+        """Merge one :meth:`dump` into this registry.
+
+        Merge semantics per kind: counters **sum**, gauges **last write
+        wins** (so merging worker dumps in ascending point-index order
+        keeps the highest-index point's value), histogram buckets and
+        count/sum **add** (min/max combine); bucket bounds must match.
+        Merging a gauge onto a callback-backed gauge of the same name
+        raises -- a live view cannot absorb a frozen one.
+        """
+        for name in sorted(dump):
+            state = dump[name]
+            kind = state["kind"]
+            if kind == "counter":
+                self.counter(name).add(state["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(state["value"])
+            elif kind == "histogram":
+                histogram = self._get_or_create(
+                    name, lambda: _empty_histogram(name, state["bounds"]), Histogram
+                )
+                if list(histogram.bounds) != list(state["bounds"]):
+                    raise ValueError(
+                        f"{name}: histogram bucket bounds differ between "
+                        f"merged registries"
+                    )
+                for i, c in enumerate(state["counts"]):
+                    histogram.counts[i] += c
+                histogram._count += state["count"]
+                histogram._sum += state["sum"]
+                if state["count"]:
+                    histogram._min = min(histogram._min, state["min"])
+                    histogram._max = max(histogram._max, state["max"])
+            else:
+                raise ValueError(f"{name}: unknown instrument kind {kind!r}")
+
     def __len__(self) -> int:
         return len(self._instruments)
 
     def __iter__(self) -> Iterable[Instrument]:
         return iter([self._instruments[k] for k in sorted(self._instruments)])
+
+
+def _empty_histogram(name: str, bounds: list[float]) -> Histogram:
+    """A zeroed histogram with explicit (already-computed) bucket bounds."""
+    histogram = Histogram(name)
+    histogram.bounds = list(bounds)
+    histogram.counts = [0] * (len(bounds) + 1)
+    return histogram
+
+
+def merge_registry_dumps(dumps: Iterable[dict]) -> MetricsRegistry:
+    """Fold an ordered sequence of registry dumps into one fresh registry.
+
+    The order is the determinism contract: callers pass dumps in point
+    *index* order so gauge last-write-wins resolves identically no
+    matter how the sweep was scheduled.
+    """
+    registry = MetricsRegistry()
+    for dump in dumps:
+        registry.merge_dump(dump)
+    return registry

@@ -66,6 +66,12 @@ class Span:
             "hops": [[name, t] for name, t in self.hops],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(data["ds_id"], data["packet_id"], data.get("kind", "mem"))
+        span.hops = [(name, t) for name, t in data["hops"]]
+        return span
+
     def __repr__(self) -> str:
         return (
             f"Span(ds{self.ds_id} pkt={self.packet_id} "
@@ -107,6 +113,38 @@ class SpanRecorder:
         if len(self.finished) == self.capacity:
             self.dropped += 1
         self.finished.append(span)
+
+    # -- serialization & merge (the sweep runner's transport) ---------------
+
+    def dump(self) -> dict:
+        """Picklable state: finished spans plus the sampling counters."""
+        return {
+            "finished": [span.to_dict() for span in self.finished],
+            "seen": self._seen,
+            "started": self._started,
+            "dropped": self.dropped,
+        }
+
+    def absorb(self, dump: dict, id_offset: int = 0) -> int:
+        """Merge one :meth:`dump`, rebasing packet ids by ``id_offset``.
+
+        Each sweep point restarts its engine's packet ids at zero, so a
+        merged recorder rebases every absorbed span by a caller-tracked
+        offset to keep per-point id ranges disjoint. Returns the next
+        free id (``id_offset`` advanced past this dump's highest id);
+        absorbing dumps in point-index order keeps the mapping -- and
+        any capacity eviction -- deterministic.
+        """
+        top = id_offset
+        for data in dump["finished"]:
+            span = Span.from_dict(data)
+            span.packet_id = data["packet_id"] + id_offset
+            top = max(top, span.packet_id + 1)
+            self.finish(span)
+        self._seen += dump["seen"]
+        self._started += dump["started"]
+        self.dropped += dump["dropped"]
+        return top
 
     # -- queries ------------------------------------------------------------
 

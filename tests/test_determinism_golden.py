@@ -12,6 +12,11 @@ Two guarantees the whole experimental methodology rests on:
    and the heapq reference dispatch events in byte-identical order, so
    the *same digest* must come out of the full system regardless of
    which queue implementation runs it.
+
+3. **Sweep-parallelism equivalence** -- an experiment grid fanned out
+   over a process pool (``jobs=N``) merges to byte-identical results
+   and telemetry as the exact serial path (``jobs=1``). Without this,
+   ``--jobs`` would silently change the figures it accelerates.
 """
 
 import hashlib
@@ -21,7 +26,9 @@ import pytest
 from repro.sim.engine import ENGINE_KINDS
 from repro.sim.rng import DeterministicRng
 from repro.system.config import TABLE2
+from repro.system.experiments import ColocationSetup, fig8_sweep_points, run_fig8
 from repro.system.server import PardServer
+from repro.telemetry import Telemetry
 from repro.workloads.memcached import MemcachedServer
 from repro.workloads.stream import Stream
 
@@ -99,3 +106,54 @@ def test_queue_implementations_agree_on_randomized_schedule():
         return trace
 
     assert ordering("calendar") == ordering("heapq")
+
+
+# -- sweep-parallelism equivalence ------------------------------------------
+
+TINY = ColocationSetup(
+    scale=32, mc_working_set_bytes=56 << 10, mc_loads_per_request=60,
+    stream_array_bytes=256 << 10, warmup_ms=0.5,
+)
+
+
+def fig8_digest(jobs: int, modes, loads, measure_ms: float) -> str:
+    """Digest of a fig8 grid's results plus its merged telemetry."""
+    hub = Telemetry(span_sample=1, snapshot_period_ms=0.25)
+    results = run_fig8(
+        loads_rps=list(loads), modes=modes, setup=TINY,
+        measure_ms=measure_ms, telemetry=hub, jobs=jobs,
+    )
+    state = (
+        repr(results),
+        repr(hub.registry.dump()),
+        repr(hub.spans.dump()),
+        repr(hub.snapshots),
+    )
+    return hashlib.sha256(repr(state).encode()).hexdigest()
+
+
+def test_parallel_sweep_matches_serial():
+    """jobs=2 merges to the same bytes as the exact serial fallback."""
+    kwargs = dict(modes=("solo",), loads=(150_000, 250_000), measure_ms=0.5)
+    assert fig8_digest(1, **kwargs) == fig8_digest(2, **kwargs)
+
+
+@pytest.mark.slow
+def test_parallel_sweep_matches_serial_full_grid():
+    """The full tiny grid (3 modes x 2 loads) at jobs=4, incl. telemetry."""
+    kwargs = dict(
+        modes=("solo", "shared", "trigger"), loads=(150_000, 250_000),
+        measure_ms=0.5,
+    )
+    assert fig8_digest(1, **kwargs) == fig8_digest(4, **kwargs)
+
+
+def test_fig8_sweep_points_specs_are_stable():
+    """Point specs carry everything: indexes dense, seeds explicit."""
+    points = fig8_sweep_points(
+        loads_rps=[150_000, 250_000], modes=("solo", "shared"), setup=TINY,
+        measure_ms=0.5, first_index=10,
+    )
+    assert [p.index for p in points] == [10, 11, 12, 13]
+    assert all(p.seed == TINY.seed for p in points)
+    assert points[0].params["setup"]["scale"] == 32
