@@ -1,4 +1,9 @@
-"""Analysis and reporting helpers used by experiments and benchmarks."""
+"""Analysis tooling: result reporting helpers and the static linter.
+
+Two halves share this package: the series/table helpers experiments and
+benchmarks print with, and :mod:`repro.analysis.lint`, the AST-based
+simulation-safety linter (run it as ``python -m repro.analysis``).
+"""
 
 from repro.analysis.series import ascii_sparkline, downsample, share_of_total
 from repro.analysis.tables import format_table

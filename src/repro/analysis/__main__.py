@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` entry point: the simulation-safety linter."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+sys.exit(main())

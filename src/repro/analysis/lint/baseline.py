@@ -1,0 +1,122 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline entry is ``(rule, path, scope) -> count``: up to ``count``
+findings with that fingerprint are marked ``baselined`` (oldest first
+by line number) instead of failing the run. Keying on the enclosing
+scope rather than the line number keeps the baseline stable across
+unrelated edits that shift lines.
+
+The file is JSON with sorted keys so regeneration is diff-friendly::
+
+    {"version": 1, "entries": [
+        {"rule": "DET001", "path": "src/repro/x.py",
+         "scope": "Frob.tick", "count": 1,
+         "note": "tracking: issue #42"}]}
+
+``note`` is free-form and preserved across rewrites of unchanged
+entries — it is where the tracking comment for an unfixable finding
+lives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Baseline:
+    """Fingerprint -> allowed count, with optional per-entry notes."""
+
+    def __init__(self, entries: Optional[dict[tuple[str, str, str], int]] = None,
+                 notes: Optional[dict[tuple[str, str, str], str]] = None):
+        self.entries = dict(entries or {})
+        self.notes = dict(notes or {})
+
+    # -- I/O -----------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {raw.get('version')!r}"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        notes: dict[tuple[str, str, str], str] = {}
+        for entry in raw.get("entries", []):
+            key = (entry["rule"], entry["path"], entry.get("scope", "<module>"))
+            entries[key] = int(entry.get("count", 1))
+            if entry.get("note"):
+                notes[key] = entry["note"]
+        return cls(entries, notes)
+
+    @classmethod
+    def load_or_empty(cls, path: Path | str | None) -> "Baseline":
+        if path is not None and Path(path).exists():
+            return cls.load(path)
+        return cls()
+
+    def dump(self, path: Path | str) -> int:
+        """Write the baseline; returns the number of entries."""
+        rows = [
+            {
+                "rule": rule, "path": fpath, "scope": scope,
+                "count": self.entries[(rule, fpath, scope)],
+                **({"note": self.notes[(rule, fpath, scope)]}
+                   if (rule, fpath, scope) in self.notes else {}),
+            }
+            for (rule, fpath, scope) in sorted(self.entries)
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": rows}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return len(rows)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, findings: Iterable[Finding]) -> None:
+        """Mark up to ``count`` findings per fingerprint as baselined.
+
+        Findings must already be sorted (the engine sorts by location),
+        so "which ones are grandfathered" is deterministic.
+        """
+        budget = dict(self.entries)
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            key = finding.fingerprint()
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                finding.baselined = True
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      previous: Optional["Baseline"] = None) -> "Baseline":
+        """A baseline covering every non-suppressed finding.
+
+        Notes from ``previous`` are carried over for fingerprints that
+        are still present.
+        """
+        entries: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            key = finding.fingerprint()
+            entries[key] = entries.get(key, 0) + 1
+        notes = {
+            key: note for key, note in (previous.notes if previous else {}).items()
+            if key in entries
+        }
+        return cls(entries, notes)
+
+    def __len__(self) -> int:
+        return len(self.entries)

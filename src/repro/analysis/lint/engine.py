@@ -1,0 +1,246 @@
+"""The lint engine: file walking, parsing, suppression and rule dispatch.
+
+Files are visited in sorted posix-path order and every collection the
+engine touches is sorted before iteration, so two runs over the same
+tree produce byte-identical reports — the linter holds itself to the
+same determinism bar it enforces.
+
+Suppressions are ordinary comments::
+
+    t0 = time.perf_counter_ns()  # simlint: disable=DET001 -- profiler
+
+A comment on its own line covers the next source line; an inline
+comment covers its own line; ``# simlint: disable`` with no rule list
+covers every rule. Text after ``--`` is a free-form justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.lint.baseline import Baseline
+from repro.analysis.lint.findings import Finding, LintResult, Severity
+from repro.analysis.lint.registry import Profile, get_profile, rules_for
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Z0-9_,\s]+))?"
+)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class ModuleContext:
+    """One parsed source file plus the derived maps the rules consume."""
+
+    def __init__(self, path: str, source: str, profile: Profile):
+        self.path = path
+        self.source = source
+        self.profile = profile
+        self.tree = ast.parse(source)
+        self._scopes: dict[int, str] = {}
+        self._imports: dict[str, str] = {}
+        self._build_scopes(self.tree, "<module>")
+        self._build_imports()
+        self.suppressions = _parse_suppressions(source)
+
+    # -- scopes --------------------------------------------------------------
+
+    def _build_scopes(self, node: ast.AST, enclosing: str) -> None:
+        # A def/class node itself belongs to its *enclosing* scope (its
+        # own body gets the inner qualname), so a finding anchored at a
+        # nested def is attributed to the function that contains it.
+        self._scopes[id(node)] = enclosing
+        inner = enclosing
+        if isinstance(node, _SCOPE_NODES):
+            inner = node.name if enclosing == "<module>" \
+                else f"{enclosing}.{node.name}"
+        for child in ast.iter_child_nodes(node):
+            self._build_scopes(child, inner)
+
+    def scope_of(self, node: ast.AST) -> str:
+        return self._scopes.get(id(node), "<module>")
+
+    # -- imports -------------------------------------------------------------
+
+    def _build_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._imports[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, through import aliases.
+
+        ``from time import perf_counter as pc`` makes a bare ``pc``
+        resolve to ``time.perf_counter``; ``time.time`` resolves to
+        itself. Returns None for anything that is not a plain chain.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self._imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+def _parse_suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
+    """Map line number -> suppressed rule ids (None means *all* rules)."""
+    out: dict[int, Optional[frozenset[str]]] = {}
+    code_lines: set[int] = set()
+    comment_tokens: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comment_tokens.append((tok.start[0], tok.string))
+            elif tok.type not in (
+                tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                tokenize.DEDENT, tokenize.ENDMARKER, tokenize.ENCODING,
+            ):
+                code_lines.add(tok.start[0])
+    except tokenize.TokenError:
+        return out
+    ordered_code = sorted(code_lines)
+    for line, text in comment_tokens:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        raw = match.group("rules")
+        rules = None if raw is None else frozenset(
+            part.strip() for part in raw.split(",") if part.strip()
+        )
+        # An inline comment covers its own line; a standalone one covers
+        # the next code line (so a multi-line justification comment
+        # block above the statement still attaches to it).
+        if line in code_lines:
+            target = line
+        else:
+            idx = bisect_right(ordered_code, line)
+            if idx == len(ordered_code):
+                continue
+            target = ordered_code[idx]
+        existing = out.get(target, frozenset())
+        if rules is None or existing is None:
+            out[target] = None
+        else:
+            out[target] = existing | rules
+    return out
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: dict[int, Optional[frozenset[str]]]) -> bool:
+    rules = suppressions.get(finding.line, frozenset())
+    return rules is None or finding.rule in rules
+
+
+# -- file walking ------------------------------------------------------------
+
+
+def iter_python_files(path: Path, root: Path) -> list[tuple[Path, str]]:
+    """``(absolute, display)`` pairs in sorted display-path order."""
+    if path.is_file():
+        files = [path]
+    else:
+        files = [p for p in path.rglob("*.py") if "__pycache__" not in p.parts]
+    pairs = []
+    for p in files:
+        try:
+            display = p.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = p.as_posix()
+        pairs.append((p, display))
+    return sorted(pairs, key=lambda pair: pair[1])
+
+
+def lint_source(source: str, *, path: str = "snippet.py",
+                profile: str | Profile = "sim") -> list[Finding]:
+    """Lint a source string (the test suite's entry point for fixtures)."""
+    prof = get_profile(profile) if isinstance(profile, str) else profile
+    return _lint_module(path, source, prof)
+
+
+def _lint_module(path: str, source: str, profile: Profile) -> list[Finding]:
+    try:
+        module = ModuleContext(path, source, profile)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="PARSE", severity=Severity.ERROR, path=path,
+            line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            message=f"could not parse: {exc.msg}",
+        )]
+    findings: list[Finding] = []
+    for rule in rules_for(profile):
+        if not profile.applies(rule.id, path):
+            continue
+        for finding in rule.check(module):
+            finding.suppressed = _is_suppressed(finding, module.suppressions)
+            findings.append(finding)
+    return findings
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One path to lint under one profile."""
+
+    path: str
+    profile: str
+
+
+def run_lint(targets: Sequence[LintTarget], *, root: Path | str = ".",
+             baseline: Optional[Baseline] = None) -> LintResult:
+    """Lint every target, apply the baseline, return a sorted result."""
+    root_path = Path(root)
+    result = LintResult()
+    seen: set[str] = set()
+    profiles: list[str] = []
+    for target in targets:
+        profile = get_profile(target.profile)
+        if profile.name not in profiles:
+            profiles.append(profile.name)
+        base = Path(target.path)
+        if not base.is_absolute():
+            base = root_path / base
+        for abs_path, display in iter_python_files(base, root_path):
+            if display in seen:
+                continue
+            seen.add(display)
+            result.files += 1
+            source = abs_path.read_text(encoding="utf-8")
+            result.findings.extend(_lint_module(display, source, profile))
+    result.findings.sort(key=Finding.sort_key)
+    result.profiles = profiles
+    if baseline is not None:
+        baseline.apply(result.findings)
+    return result
+
+
+DEFAULT_TARGETS = (
+    LintTarget("src/repro", "sim"),
+    LintTarget("tests", "tests"),
+    LintTarget("benchmarks", "tests"),
+)
+
+
+def default_targets(root: Path | str = ".") -> list[LintTarget]:
+    """The repo-wide target set, skipping directories that do not exist."""
+    root_path = Path(root)
+    return [t for t in DEFAULT_TARGETS if (root_path / t.path).exists()]
+
+
+def iter_errors(findings: Iterable[Finding]) -> list[Finding]:
+    return [f for f in findings if f.active and f.severity >= Severity.ERROR]

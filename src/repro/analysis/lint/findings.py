@@ -1,0 +1,113 @@
+"""Finding and severity types shared by the lint engine, rules and reporters.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+carry two orthogonal "quieted" flags: *suppressed* (an inline
+``# simlint: disable=RULE`` comment covers the line) and *baselined*
+(the finding is grandfathered by the checked-in baseline file). A
+finding that is neither is **active** and is what makes the linter exit
+nonzero.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; ``--strict`` fails on any, default on ERROR."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        return cls[label.upper()]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str  # posix-style path relative to the lint root
+    line: int
+    col: int
+    message: str
+    scope: str = "<module>"  # enclosing qualname; part of the baseline key
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used by the baseline file.
+
+        ``(rule, path, scope)`` survives unrelated edits that shift line
+        numbers; the baseline grandfathers *counts* per fingerprint.
+        """
+        return (self.rule, self.path, self.scope)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "scope": self.scope,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-sorted for reproducible output."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    profiles: list[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined]
+
+    def counts(self) -> dict[str, int]:
+        active = self.active
+        return {
+            "files": self.files,
+            "active": len(active),
+            "errors": sum(1 for f in active if f.severity >= Severity.ERROR),
+            "warnings": sum(1 for f in active if f.severity == Severity.WARNING),
+            "baselined": len(self.baselined),
+            "suppressed": len(self.suppressed),
+        }
+
+    def failed(self, strict: bool) -> bool:
+        """Should this run exit nonzero?"""
+        if strict:
+            return bool(self.active)
+        return any(f.severity >= Severity.ERROR for f in self.active)

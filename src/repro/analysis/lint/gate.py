@@ -1,0 +1,57 @@
+"""Pre-flight lint gate for long-running experiment sweeps.
+
+``repro all --lint-gate`` (and ``REPRO_LINT_GATE=1`` under the
+benchmark harness) refuses to launch hours of simulation from a tree
+with ERROR-severity lint findings — exactly the class of bug (wall
+clock, global randomness, raw queues) that would silently poison every
+point of a sweep.
+
+The gate prefers the repo layout (``src/repro`` under the root, with
+the checked-in baseline); when the package is imported from an
+installed location instead, it lints the package directory and skips
+the baseline (paths would not match).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.analysis.lint.engine import LintTarget, iter_errors, run_lint
+
+
+def _repo_layout(root: Path) -> bool:
+    return (root / "src" / "repro").is_dir()
+
+
+def check_tree(root: Path | str = ".") -> list:
+    """ERROR-severity active findings in the simulation sources."""
+    root_path = Path(root)
+    if _repo_layout(root_path):
+        targets = [LintTarget("src/repro", "sim")]
+        baseline = Baseline.load_or_empty(root_path / DEFAULT_BASELINE_NAME)
+        result = run_lint(targets, root=root_path, baseline=baseline)
+    else:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        targets = [LintTarget(str(package_root), "sim")]
+        result = run_lint(targets, root=package_root.parent, baseline=None)
+    return iter_errors(result.findings)
+
+
+def lint_gate(root: Path | str = ".", *, stream=None) -> bool:
+    """Run the gate; print any blockers; True means clear to run."""
+    out = stream if stream is not None else sys.stderr
+    errors = check_tree(root)
+    if not errors:
+        return True
+    print("lint gate: refusing to run experiments; fix or baseline these "
+          "ERROR findings first:", file=out)
+    for finding in errors:
+        print(f"  {finding.location}  {finding.rule}  {finding.message}",
+              file=out)
+    print(f"lint gate: {len(errors)} error(s); see `python -m repro.analysis`",
+          file=out)
+    return False

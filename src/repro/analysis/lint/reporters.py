@@ -1,0 +1,68 @@
+"""Text and JSON reporters.
+
+Both render from the engine's already-sorted findings and contain no
+timestamps, absolute paths or environment-dependent values, so a report
+is a pure function of the tree being linted — two consecutive runs are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.findings import LintResult
+from repro.analysis.lint.registry import describe_rules, get_profile, rules_for
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """``path:line:col  SEV  RULE  message`` lines plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        if not finding.active and not verbose:
+            continue
+        tag = ""
+        if finding.suppressed:
+            tag = "  [suppressed]"
+        elif finding.baselined:
+            tag = "  [baselined]"
+        lines.append(
+            f"{finding.location}  {finding.severity.label:7s}  "
+            f"{finding.rule}  {finding.message}{tag}"
+        )
+    counts = result.counts()
+    lines.append(
+        f"{counts['files']} files: {counts['active']} findings "
+        f"({counts['errors']} errors, {counts['warnings']} warnings), "
+        f"{counts['baselined']} baselined, {counts['suppressed']} suppressed"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult, *, strict: bool) -> dict:
+    """The machine-readable report (schema checked by the test suite)."""
+    rules: list[dict] = []
+    seen: set[str] = set()
+    for profile_name in result.profiles:
+        for row in describe_rules(rules_for(get_profile(profile_name))):
+            if row["id"] not in seen:
+                seen.add(row["id"])
+                rules.append(row)
+    rules.sort(key=lambda row: row["id"])
+    return {
+        "version": JSON_REPORT_VERSION,
+        "profiles": list(result.profiles),
+        "strict": strict,
+        "rules": rules,
+        "findings": [f.to_dict() for f in result.findings if f.active],
+        "baselined": [f.to_dict() for f in result.findings if f.baselined],
+        "suppressed": [f.to_dict() for f in result.findings if f.suppressed],
+        "summary": result.counts(),
+        "failed": result.failed(strict),
+    }
+
+
+def render_json_text(result: LintResult, *, strict: bool) -> str:
+    return json.dumps(render_json(result, strict=strict),
+                      indent=2, sort_keys=True) + "\n"

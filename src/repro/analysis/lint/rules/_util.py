@@ -1,0 +1,73 @@
+"""Shared AST helpers for the rule pack."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def is_set_expr(node: ast.AST, module) -> bool:
+    """An expression whose iteration order is hash-dependent."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = module.resolve(node.func)
+        return resolved in ("set", "frozenset")
+    return False
+
+
+def call_attr(node: ast.Call) -> Optional[str]:
+    """The trailing attribute name of a method-style call, if any."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def walk_in_order(node: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first traversal in source order (iter_child_nodes preserves
+    field order, which matches source order for statement bodies)."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from walk_in_order(child)
+
+
+def functions_in(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def component_classes(module) -> Iterator[ast.ClassDef]:
+    """Classes that (syntactically) subclass ``Component``.
+
+    Inheritance is resolved by name only — a direct base called
+    ``Component`` or ``*.Component`` — which matches how this codebase
+    derives hardware models directly from :class:`repro.sim.component.
+    Component`. Deeper hierarchies need their own direct check or a
+    suppression.
+    """
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for base in node.bases:
+            if isinstance(base, ast.Name) and base.id == "Component":
+                yield node
+                break
+            if isinstance(base, ast.Attribute) and base.attr == "Component":
+                yield node
+                break
+
+
+def enclosing_handler(module, node: ast.AST) -> Optional[str]:
+    """The handler-like function scope containing ``node``, if any.
+
+    Handler-like means the per-event entry points this codebase uses:
+    names starting with ``handle``, ``on_``, ``process``, ``tick`` or
+    ``access`` — the paths that run once per packet/event.
+    """
+    scope = module.scope_of(node)
+    for part in scope.split("."):
+        if part.startswith(("handle", "_handle", "on_", "process", "tick",
+                            "access")):
+            return part
+    return None

@@ -1,0 +1,227 @@
+"""DET rules: nothing in simulated code may depend on the host machine.
+
+The repo's reproducibility guarantees (golden determinism digests,
+serial-vs-parallel byte equality) hold only if simulated code never
+reads wall-clock time, never draws from process-global randomness, and
+never iterates hash-ordered containers on a path that feeds scheduling
+or accumulation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import Rule, register_rule
+from repro.analysis.lint.rules._util import is_set_expr
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_GLOBAL_RNG_EXACT = frozenset({"os.urandom"})
+_GLOBAL_RNG_PREFIXES = ("random.", "uuid.uuid", "secrets.")
+_SEEDED_RNG = frozenset({"random.Random", "random.SystemRandom"})
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Simulated code must take time from ``engine.now``, never the host
+    clock: a wall-clock read makes event timing depend on the machine
+    running the simulation, which breaks byte-identical replay.
+
+    Bad::
+
+        import time
+
+        def service_latency(started_ps):
+            return time.time() - started_ps
+
+    Good::
+
+        def service_latency(engine, started_ps):
+            return engine.now - started_ps
+    """
+
+    id = "DET001"
+    severity = Severity.ERROR
+    title = "wall-clock read in simulated code"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            resolved = module.resolve(node)
+            if resolved in _WALL_CLOCK:
+                yield self.finding(
+                    module, node,
+                    f"{resolved} reads the host clock; simulated code must "
+                    f"use engine.now (wall-clock belongs in runner/ and "
+                    f"benchmarks/)",
+                )
+
+
+@register_rule
+class GlobalRandomnessRule(Rule):
+    """All stochastic behaviour must flow from a named child stream of
+    :class:`repro.sim.rng.DeterministicRng`; the process-global
+    ``random`` module, ``os.urandom`` and ``uuid`` are unseeded (or
+    seeded once, globally) and make runs irreproducible.
+
+    Bad::
+
+        import random
+
+        def jitter_ps():
+            return random.randint(0, 100)
+
+    Good::
+
+        def jitter_ps(rng):
+            # rng is a DeterministicRng child stream, e.g. root.child("jitter")
+            return rng.randint(0, 100)
+    """
+
+    id = "DET002"
+    severity = Severity.ERROR
+    title = "process-global randomness"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            resolved = module.resolve(node)
+            if resolved is None or resolved in _SEEDED_RNG:
+                continue
+            if resolved in _GLOBAL_RNG_EXACT or resolved.startswith(
+                _GLOBAL_RNG_PREFIXES
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{resolved} is process-global randomness; draw from a "
+                    f"named DeterministicRng child stream (repro.sim.rng) "
+                    f"instead",
+                )
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    """Iterating a set (or sorting by ``id()``) visits elements in
+    hash order, which differs between interpreter runs — any scheduling
+    or hashing decision derived from it is irreproducible. Wrap the
+    iterable in ``sorted()`` with a value-based key.
+
+    Bad::
+
+        def drain(waiting):
+            for name in {"dram", "llc", "nic"}:
+                waiting.pop(name)
+
+    Good::
+
+        def drain(waiting):
+            for name in sorted({"dram", "llc", "nic"}):
+                waiting.pop(name)
+    """
+
+    id = "DET003"
+    severity = Severity.ERROR
+    title = "iteration order depends on hashing"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_expr(
+                node.iter, module
+            ):
+                yield self.finding(
+                    module, node.iter,
+                    "iterating a set visits elements in hash order; wrap in "
+                    "sorted() before using the order",
+                )
+            elif isinstance(node, ast.comprehension) and is_set_expr(
+                node.iter, module
+            ):
+                yield self.finding(
+                    module, node.iter,
+                    "comprehension over a set runs in hash order; wrap in "
+                    "sorted() before using the order",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_id_keys(module, node)
+
+    def _check_id_keys(self, module, node: ast.Call) -> Iterator:
+        resolved = module.resolve(node.func)
+        name = resolved if resolved is not None else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        if name == "hash" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Call) and module.resolve(arg.func) == "id":
+                yield self.finding(
+                    module, node,
+                    "hash(id(...)) varies per process; hash a stable value "
+                    "(name, index) instead",
+                )
+        if name in ("sorted", "sort", "min", "max") or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+        ):
+            for kw in node.keywords:
+                if kw.arg == "key" and isinstance(kw.value, ast.Name) \
+                        and kw.value.id == "id":
+                    yield self.finding(
+                        module, kw.value,
+                        "sorting by id() orders by memory address; key on a "
+                        "stable attribute instead",
+                    )
+
+
+@register_rule
+class UnorderedAccumulationRule(Rule):
+    """Float addition is not associative: summing a hash-ordered
+    iterable accumulates rounding error in a different order each run,
+    so statistics derived from it are not byte-stable. Sum in sorted
+    order (or use ``math.fsum``, which is order-independent).
+
+    Bad::
+
+        def total_latency(samples):
+            return sum({s.latency_ps for s in samples})
+
+    Good::
+
+        def total_latency(samples):
+            return sum(sorted(s.latency_ps for s in samples))
+    """
+
+    id = "DET004"
+    severity = Severity.WARNING
+    title = "float accumulation over an unordered iterable"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve(node.func) != "sum" or not node.args:
+                continue
+            arg = node.args[0]
+            hazard = is_set_expr(arg, module) or (
+                isinstance(arg, ast.GeneratorExp)
+                and any(is_set_expr(gen.iter, module) for gen in arg.generators)
+            )
+            if hazard:
+                yield self.finding(
+                    module, node,
+                    "sum() over a set accumulates floats in hash order; sum "
+                    "in sorted order or use math.fsum",
+                )

@@ -1,0 +1,209 @@
+"""EVT rules: the discrete-event contract.
+
+Components interact with simulated time only through the engine
+(``post``/``schedule``), must not block the single dispatch thread, and
+must treat a packet as frozen once it has been handed downstream (the
+receiver may run arbitrarily later but sees the object by reference).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import Rule, register_rule
+from repro.analysis.lint.rules._util import component_classes, walk_in_order
+
+_BLOCKING_EXACT = frozenset({"time.sleep", "input", "open"})
+_BLOCKING_PREFIXES = (
+    "socket.", "subprocess.", "requests.", "urllib.request.", "http.client.",
+)
+
+# Calls that hand a packet to another component or to the future.
+_HANDOFF_ATTRS = frozenset({
+    "post", "post_at", "schedule", "handle_request", "access", "forward",
+    "send",
+})
+
+_QUEUE_NAME_HINTS = ("queue", "event", "pending")
+
+
+@register_rule
+class BlockingIoInHandlerRule(Rule):
+    """Component code runs on the engine's single dispatch thread; a
+    blocking call (sleep, file/socket/process I/O) stalls *all*
+    simulated time, and host-I/O latency leaks into none of the
+    simulated clocks. Model delays with ``post_cycles`` instead.
+
+    Bad::
+
+        import time
+        from repro.sim.component import Component
+
+        class SlowNic(Component):
+            def handle_request(self, packet, on_response):
+                time.sleep(0.001)
+                on_response(packet)
+
+    Good::
+
+        from repro.sim.component import Component
+
+        class SlowNic(Component):
+            def handle_request(self, packet, on_response):
+                self.post_cycles(10, lambda: on_response(packet))
+    """
+
+    id = "EVT001"
+    severity = Severity.ERROR
+    title = "blocking call inside a Component"
+
+    def check(self, module) -> Iterator:
+        for klass in component_classes(module):
+            for node in ast.walk(klass):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = module.resolve(node.func)
+                if resolved is None:
+                    continue
+                if resolved in _BLOCKING_EXACT or resolved.startswith(
+                    _BLOCKING_PREFIXES
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"{resolved} blocks the dispatch thread inside "
+                        f"Component {klass.name}; model latency via "
+                        f"post/post_cycles",
+                    )
+
+
+@register_rule
+class MutateAfterHandoffRule(Rule):
+    """Once a packet has been posted or forwarded, the downstream
+    component owns it — it will observe the object *later* in simulated
+    time but holds the same reference now, so mutating it afterwards
+    rewrites history. Finish the packet before handing it off.
+
+    (Heuristic: straight-line analysis within one function body; a
+    handoff in one branch and a mutation in another can false-positive
+    — suppress with a justification if the paths are exclusive.)
+
+    Bad::
+
+        from repro.sim.component import Component
+
+        class Router(Component):
+            def handle_request(self, packet, on_response):
+                self.downstream.handle_request(packet, on_response)
+                packet.hops = packet.hops + 1
+
+    Good::
+
+        from repro.sim.component import Component
+
+        class Router(Component):
+            def handle_request(self, packet, on_response):
+                packet.hops = packet.hops + 1
+                self.downstream.handle_request(packet, on_response)
+    """
+
+    id = "EVT002"
+    severity = Severity.WARNING
+    title = "packet mutated after being handed off"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module, func) -> Iterator:
+        handed_off: dict[str, int] = {}
+        for node in walk_in_order(func):
+            if node is not func and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # nested defs run later; analyzed separately
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr in _HANDOFF_ATTRS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        handed_off.setdefault(arg.id, node.lineno)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name
+                    ) and target.value.id in handed_off:
+                        name = target.value.id
+                        yield self.finding(
+                            module, target,
+                            f"{name}.{target.attr} assigned after {name} was "
+                            f"handed off (line {handed_off[name]}); the "
+                            f"receiver sees the mutation",
+                        )
+
+
+@register_rule
+class RawEventQueueRule(Rule):
+    """All event scheduling must go through the engine: a private
+    ``heapq`` (or sorting a queue list in place) bypasses the calendar
+    queue's FIFO-within-timestamp ordering guarantee, so event order —
+    and therefore every downstream digest — stops being reproducible.
+
+    Bad::
+
+        import heapq
+
+        class PrivateQueue:
+            def __init__(self):
+                self.events = []
+
+            def push(self, when_ps, callback):
+                heapq.heappush(self.events, (when_ps, callback))
+
+    Good::
+
+        class EngineQueue:
+            def __init__(self, engine):
+                self.engine = engine
+
+            def push(self, delay_ps, callback):
+                self.engine.post(delay_ps, callback)
+    """
+
+    id = "EVT003"
+    severity = Severity.ERROR
+    title = "raw event queue bypassing the engine"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq":
+                        yield self.finding(
+                            module, node,
+                            "heapq import: schedule through engine.post/"
+                            "post_at, not a private heap",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "heapq":
+                yield self.finding(
+                    module, node,
+                    "heapq import: schedule through engine.post/post_at, "
+                    "not a private heap",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr == "sort":
+                target = node.func.value
+                name = target.id if isinstance(target, ast.Name) else (
+                    target.attr if isinstance(target, ast.Attribute) else None
+                )
+                if name and any(h in name.lower() for h in _QUEUE_NAME_HINTS):
+                    yield self.finding(
+                        module, node,
+                        f"sorting {name!r} in place looks like manual event "
+                        f"ordering; route through the engine instead",
+                    )

@@ -1,0 +1,76 @@
+"""EXC rules: exception hygiene.
+
+A broad ``except`` in experiment code converts a determinism bug into a
+silently wrong figure. Handlers must either name the exceptions they
+expect, re-raise, or carry a suppression explaining why swallowing
+everything is the design (worker failure capture, keep-going figure
+loops).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import Rule, register_rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a bare ``raise``? (Catch-log-reraise
+    is legitimate cleanup, not swallowing.)"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """Bare and broad excepts swallow determinism violations,
+    ``KeyboardInterrupt`` (bare) and typos alike. Catch the exceptions
+    the code can actually produce; if a keep-going loop genuinely needs
+    breadth, re-raise or suppress with a justification.
+
+    Bad::
+
+        def run_figure(fn):
+            try:
+                return fn()
+            except:
+                return None
+
+    Good::
+
+        def run_figure(fn):
+            try:
+                return fn()
+            except (ValueError, KeyError) as exc:
+                report_failure(exc)
+                return None
+    """
+
+    id = "EXC001"
+    severity = Severity.WARNING
+    title = "bare or broad except"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare except catches KeyboardInterrupt and SystemExit; "
+                    "name the expected exceptions",
+                    severity=Severity.ERROR,
+                )
+            elif isinstance(node.type, ast.Name) and node.type.id in _BROAD \
+                    and not _reraises(node):
+                yield self.finding(
+                    module, node,
+                    f"except {node.type.id} without re-raise swallows "
+                    f"unexpected failures; narrow it or re-raise",
+                )

@@ -1,0 +1,181 @@
+"""RUN rules: sweep builders must be pure, picklable point functions.
+
+The parallel runner's serial-vs-parallel byte-equality guarantee holds
+because a :class:`SweepPoint` travels to workers as (builder *name*,
+params, seed) and the builder recomputes everything from that spec. A
+builder that closes over locals cannot be resolved in a spawn-started
+worker, and one that reads module-level mutable state gives different
+answers depending on which process (and after how many other points)
+it runs in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import Rule, register_rule
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "collections.defaultdict", "defaultdict",
+    "collections.Counter", "Counter", "collections.OrderedDict",
+    "OrderedDict", "collections.deque", "deque",
+})
+
+
+def _is_register_builder(node: ast.AST, module) -> bool:
+    """Does this expression refer to ``register_builder``?"""
+    resolved = module.resolve(node)
+    return resolved is not None and (
+        resolved == "register_builder"
+        or resolved.endswith(".register_builder")
+    )
+
+
+def _registered_builders(module) -> Iterator[ast.FunctionDef]:
+    """Functions decorated with ``@register_builder(...)`` (or bare)."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if _is_register_builder(target, module):
+                yield node
+                break
+
+
+@register_rule
+class UnpicklableBuilderRule(Rule):
+    """A builder registered as a lambda or inside another function is a
+    closure: it pickles by qualified name, so a spawn-started worker
+    (or any process that didn't execute the enclosing call) cannot
+    resolve it, and whatever it captured is silently frozen. Register
+    plain module-level functions and pass variation through
+    ``point.params``.
+
+    Bad::
+
+        from repro.runner.registry import register_builder
+
+        def make_builder(scale):
+            @register_builder("scaled")
+            def build(point, telemetry):
+                return scale * point.params["x"]
+            return build
+
+    Good::
+
+        from repro.runner.registry import register_builder
+
+        @register_builder("scaled")
+        def build(point, telemetry):
+            return point.params["scale"] * point.params["x"]
+    """
+
+    id = "RUN001"
+    severity = Severity.ERROR
+    title = "sweep builder is a closure or lambda"
+
+    def check(self, module) -> Iterator:
+        # Lambdas handed straight to register_builder(name, fn) / (name)(fn).
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            direct = _is_register_builder(node.func, module)
+            curried = isinstance(node.func, ast.Call) and _is_register_builder(
+                node.func.func, module
+            )
+            if direct or curried:
+                for arg in node.args:
+                    if isinstance(arg, ast.Lambda):
+                        yield self.finding(
+                            module, arg,
+                            "lambda registered as a sweep builder cannot be "
+                            "pickled by name; use a module-level def",
+                        )
+        # Builders defined inside another function (closures).
+        for func in _registered_builders(module):
+            scope = module.scope_of(func)
+            if scope != "<module>":
+                yield self.finding(
+                    module, func,
+                    f"builder {func.name!r} is defined inside {scope}; "
+                    f"workers resolve builders by name, so it must be "
+                    f"module-level",
+                )
+
+
+@register_rule
+class BuilderModuleStateRule(Rule):
+    """Everything a point needs must arrive in its spec: a builder that
+    reads module-level mutable state (or declares ``global``) computes
+    different values depending on process history, which breaks the
+    any-``--jobs`` byte-equality guarantee.
+
+    Bad::
+
+        from repro.runner.registry import register_builder
+
+        RESULT_CACHE = {}
+
+        @register_builder("cached")
+        def build(point, telemetry):
+            return RESULT_CACHE.get(point.index, 0)
+
+    Good::
+
+        from repro.runner.registry import register_builder
+
+        @register_builder("pure")
+        def build(point, telemetry):
+            return point.params["value"]
+    """
+
+    id = "RUN002"
+    severity = Severity.WARNING
+    title = "sweep builder reads module-level mutable state"
+
+    def check(self, module) -> Iterator:
+        mutable = self._module_level_mutables(module)
+        for func in _registered_builders(module):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        module, node,
+                        f"builder {func.name!r} declares global "
+                        f"{', '.join(node.names)}; pass state through "
+                        f"point.params",
+                    )
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ) and node.id in mutable:
+                    yield self.finding(
+                        module, node,
+                        f"builder {func.name!r} reads module-level mutable "
+                        f"{node.id!r}; pass it through point.params",
+                    )
+
+    def _module_level_mutables(self, module) -> set[str]:
+        names: set[str] = set()
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            if not self._is_mutable_literal(value, module):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _is_mutable_literal(self, value: ast.AST, module) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return module.resolve(value.func) in _MUTABLE_FACTORIES
+        return False

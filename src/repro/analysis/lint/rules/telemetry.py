@@ -1,0 +1,148 @@
+"""TEL rules: telemetry must observe the simulation, never perturb it.
+
+Instrument creation allocates and takes registry locks; it belongs in
+``__init__``/mount-time code, not per-event handlers. Metric names
+share one hierarchical namespace (``component.instance.stat``) that the
+exporters, the sysfs mirror and the sweep merge all key on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.findings import Severity
+from repro.analysis.lint.registry import Rule, register_rule
+from repro.analysis.lint.rules._util import enclosing_handler
+
+_CREATION_ATTRS = frozenset({"counter", "gauge", "gauge_fn", "histogram"})
+
+_SEGMENT_OK = frozenset("abcdefghijklmnopqrstuvwxyz0123456789_")
+
+
+def _instrument_creation(node: ast.AST) -> Optional[ast.Call]:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _CREATION_ATTRS:
+        return node
+    return None
+
+
+def _bad_name_segments(name: str) -> Optional[str]:
+    """Why ``name`` violates the convention, or None if it is fine."""
+    if not name:
+        return "empty name"
+    if "." not in name:
+        return "metric names are hierarchical: at least component.stat"
+    if name.startswith(".") or name.endswith(".") or ".." in name:
+        return "empty segment"
+    for segment in name.split("."):
+        if not set(segment) <= _SEGMENT_OK:
+            return f"segment {segment!r} must be [a-z0-9_]"
+    return None
+
+
+@register_rule
+class InstrumentCreationInHotPathRule(Rule):
+    """``registry.counter(name)`` is get-or-create: calling it per event
+    re-hashes the name and re-checks the type on every packet, and the
+    first call inside a handler silently registers a new instrument
+    mid-run (so early snapshots are missing it). Create instruments at
+    construction/mount time and call ``.add()``/``.record()`` on the
+    hot path.
+
+    Bad::
+
+        from repro.sim.component import Component
+
+        class Nic(Component):
+            def __init__(self, engine, name, registry):
+                super().__init__(engine, name)
+                self.registry = registry
+
+            def handle_request(self, packet, on_response):
+                self.registry.counter("nic.rx_packets").add(1)
+                on_response(packet)
+
+    Good::
+
+        from repro.sim.component import Component
+
+        class Nic(Component):
+            def __init__(self, engine, name, registry):
+                super().__init__(engine, name)
+                self._rx = registry.counter("nic.rx_packets")
+
+            def handle_request(self, packet, on_response):
+                self._rx.add(1)
+                on_response(packet)
+    """
+
+    id = "TEL001"
+    severity = Severity.WARNING
+    title = "instrument created on a per-event path"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            call = _instrument_creation(node)
+            if call is None:
+                continue
+            handler = enclosing_handler(module, call)
+            if handler is not None:
+                yield self.finding(
+                    module, call,
+                    f"instrument created inside per-event path {handler}(); "
+                    f"create it in __init__ and keep only .add()/.record() "
+                    f"on the hot path",
+                )
+
+
+@register_rule
+class MetricNamingRule(Rule):
+    """Metric names are one shared hierarchy (``nic.eth0.rx_dropped``):
+    lowercase ``[a-z0-9_]`` segments joined by dots, at least two
+    segments deep. The exporters, ``/sys/telemetry`` and the sweep
+    merge key on these strings, so a malformed name pollutes every
+    consumer. (Only literal and f-string names are checked; dynamic
+    names are out of static reach.)
+
+    Bad::
+
+        def attach(registry):
+            return registry.counter("NIC RX Packets")
+
+    Good::
+
+        def attach(registry):
+            return registry.counter("nic.rx_packets")
+    """
+
+    id = "TEL002"
+    severity = Severity.WARNING
+    title = "metric name violates the naming convention"
+
+    def check(self, module) -> Iterator:
+        for node in ast.walk(module.tree):
+            call = _instrument_creation(node)
+            if call is None or not call.args:
+                continue
+            arg = call.args[0]
+            reason = self._check_name_arg(arg)
+            if reason is not None:
+                yield self.finding(
+                    module, arg,
+                    f"metric name: {reason} (convention: lowercase dotted "
+                    f"component.instance.stat)",
+                )
+
+    def _check_name_arg(self, arg: ast.AST) -> Optional[str]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return _bad_name_segments(arg.value)
+        if isinstance(arg, ast.JoinedStr):
+            # Validate the constant fragments; interpolations are opaque
+            # and stand in for exactly one well-formed segment chunk.
+            for part in arg.values:
+                if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                    if not set(part.value) <= (_SEGMENT_OK | {"."}):
+                        return f"fragment {part.value!r} must be [a-z0-9_.]"
+            return None
+        return None

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
 import traceback
 from typing import Optional, Sequence
 
@@ -232,6 +233,13 @@ def cmd_fig12(_args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Forward to the simulation-safety linter's own CLI."""
+    from repro.analysis.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_all(args) -> int:
     """Every table and figure; simulation points fan out over ``--jobs``.
 
@@ -240,7 +248,17 @@ def cmd_all(args) -> int:
     whole evaluation parallelizes across cores. Every figure runs even
     when another fails; a per-figure pass/fail summary is printed at the
     end and only then does a failure turn into a nonzero exit.
+
+    ``--lint-gate`` is a cheap pre-flight for long sweeps: refuse to
+    start if the tree has ERROR-severity lint findings (wall-clock,
+    global randomness, raw event queues) that would poison every point.
     """
+    if getattr(args, "lint_gate", False):
+        from repro.analysis.lint.gate import lint_gate
+
+        if not lint_gate():
+            return 2
+
     telemetry = _telemetry_from(args)
 
     points = [SweepPoint(index=0, builder="fig7",
@@ -265,14 +283,20 @@ def cmd_all(args) -> int:
     def banner(name: str) -> None:
         print(f"\n=== {name} " + "=" * (60 - len(name)))
 
+    def report_failure(name: str, exc: Exception) -> None:
+        """Print the failing figure's name with its full traceback."""
+        print(f"[{name}] failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        print(textwrap.indent(traceback.format_exc(), f"[{name}] "),
+              file=sys.stderr, end="")
+
     def run_local(name: str, fn) -> None:
         """A figure computed in-process (cheap tables, no simulation)."""
         banner(name)
         try:
             fn()
             statuses.append((name, True, ""))
-        except Exception as exc:  # keep going; summary reports it
-            traceback.print_exc()
+        except Exception as exc:  # intentionally broad: `all` keeps going
+            report_failure(name, exc)
             statuses.append((name, False, f"{type(exc).__name__}: {exc}"))
 
     def figure(name: str, point_results, render) -> None:
@@ -289,8 +313,8 @@ def cmd_all(args) -> int:
         try:
             render([pr.value for pr in point_results])
             statuses.append((name, True, ""))
-        except Exception as exc:
-            traceback.print_exc()
+        except Exception as exc:  # intentionally broad: `all` keeps going
+            report_failure(name, exc)
             statuses.append((name, False, f"{type(exc).__name__}: {exc}"))
 
     run_local("table2", lambda: cmd_table2(args))
@@ -359,11 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(everything)
     _add_telemetry_args(everything)
+    everything.add_argument(
+        "--lint-gate", action="store_true",
+        help="refuse to run if the tree has ERROR-severity lint findings",
+    )
     everything.set_defaults(fn=cmd_all)
+
+    lint = sub.add_parser(
+        "lint",
+        help="simulation-safety linter (same as python -m repro.analysis)",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER, metavar="...",
+                      help="arguments forwarded to repro-lint")
+    lint.set_defaults(fn=cmd_lint)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: argparse.REMAINDER drops leading options
+        # (bpo-17050), so the linter gets its own argv untouched.
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -171,7 +171,7 @@ def _execute_point(
             duration_s=time.perf_counter() - started,
             telemetry=telemetry.dump_payload() if telemetry is not None else None,
         )
-    except BaseException:
+    except BaseException:  # simlint: disable=EXC001 -- see below
         # KeyboardInterrupt in a worker should surface as a failed point,
         # not tear down the pool protocol mid-message.
         return PointResult(

@@ -20,7 +20,7 @@ so this avoids an import cycle).
 
 from __future__ import annotations
 
-import heapq
+import heapq  # simlint: disable=EVT003 -- mirrors Engine.run's own queue
 import time
 from typing import Optional
 
@@ -63,6 +63,8 @@ class ProfiledEngine(Engine):
         times = self._times
         buckets = self._buckets
         event_class = _Event
+        # simlint: disable=DET001 -- wall-clock attribution is this
+        # engine's entire purpose; it never influences simulated time.
         perf = time.perf_counter_ns
         stats = self.callback_ns
         run_start = perf()
